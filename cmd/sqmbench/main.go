@@ -1,0 +1,51 @@
+// Command sqmbench regenerates the tables and figures of the paper's
+// evaluation section. Every experiment id maps to one runner in
+// internal/bench; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	sqmbench -exp fig3                # one experiment, CI-scale
+//	sqmbench -exp all -full -runs 20  # paper-scale shapes, 20 repeats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqm/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id: fig2, fig3, fig4, fig5, table1..table5, all")
+		runs   = flag.Int("runs", 3, "repeats per cell (paper: 20)")
+		full   = flag.Bool("full", false, "paper-scale dataset shapes (slow)")
+		budget = flag.Int64("bgw-budget", 2e8, "max field ops executed by the real BGW engine per timing cell; larger cells are extrapolated and marked '*'")
+		seed   = flag.Uint64("seed", 42, "reproducibility seed")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	o := bench.Options{Runs: *runs, Full: *full, RealBGWBudget: *budget, Seed: *seed}
+	tables, err := bench.ByID(*exp, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			err = t.WriteCSV(os.Stdout)
+		case "text":
+			_, err = t.WriteTo(os.Stdout)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command sqmgen writes the library's synthetic datasets out as CSV, so
+// the sqmrun tool (and any external system) can be exercised without
+// the real corpora:
+//
+//	sqmgen -kind kddcup -m 5000 -n 40 -out kdd.csv
+//	sqmgen -kind acsincome -state TX -m 2000 -n 60 -out tx.csv
+//	sqmgen -kind regression -m 3000 -n 16 -out reg.csv
+//	sqmgen -kind citeseer -m 500 -n 300 -out docs.csv
+//
+// Labeled datasets append the label as the last column named "label".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqm"
+	"sqm/internal/csvio"
+	"sqm/internal/linalg"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "kddcup", "dataset: kddcup, citeseer, gene, acsincome, regression")
+		state = flag.String("state", "CA", "ACSIncome state: CA, TX, NY, FL")
+		m     = flag.Int("m", 1000, "records")
+		n     = flag.Int("n", 20, "attributes (features for labeled kinds)")
+		noise = flag.Float64("noise", 0.1, "target noise (regression)")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		out   = flag.String("out", "", "output CSV file (default stdout)")
+	)
+	flag.Parse()
+
+	var ds *sqm.Dataset
+	var err error
+	switch *kind {
+	case "kddcup":
+		ds = sqm.KDDCupLike(*m, *n, *seed)
+	case "citeseer":
+		ds = sqm.CiteSeerLike(*m, *n, *seed)
+	case "gene":
+		ds = sqm.GeneLike(*m, *n, *seed)
+	case "acsincome":
+		ds, err = sqm.ACSIncomeLike(*state, *m, 1, *n, *seed)
+	case "regression":
+		ds = sqm.RegressionLike(*m, 1, *n, *noise, *seed)
+	default:
+		err = fmt.Errorf("unknown dataset kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	x := ds.X
+	header := make([]string, 0, x.Cols+1)
+	for j := 0; j < x.Cols; j++ {
+		header = append(header, fmt.Sprintf("f%d", j))
+	}
+	if ds.Labels != nil {
+		full := linalg.NewMatrix(x.Rows, x.Cols+1)
+		for i := 0; i < x.Rows; i++ {
+			copy(full.Row(i), x.Row(i))
+			full.Set(i, x.Cols, ds.Labels[i])
+		}
+		x = full
+		header = append(header, "label")
+	}
+	if err := csvio.Write(w, x, header); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sqmgen: wrote %s (%d x %d%s)\n",
+		ds.Name, x.Rows, x.Cols, map[bool]string{true: ", last column = label", false: ""}[ds.Labels != nil])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqmgen:", err)
+	os.Exit(1)
+}

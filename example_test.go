@@ -1,0 +1,126 @@
+package sqm_test
+
+import (
+	"fmt"
+
+	"sqm"
+)
+
+// The clients' columns hold integer-representable values, so with μ = 0
+// the quantized evaluation is exact and the output deterministic.
+func ExampleEvaluateMonomialSum() {
+	x := sqm.FromRows([][]float64{
+		{0.5, 0.25},
+		{0.75, 0.5},
+	})
+	m := sqm.Monomial{Coef: 2, Exps: []int{1, 1}}
+	est, trace, err := sqm.EvaluateMonomialSum(m, x, sqm.Params{Gamma: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimate %.4f (scaled integer %d / gamma^2 = %.0f)\n", est, trace.Scaled[0], trace.Scale)
+	// Output: estimate 1.0000 (scaled integer 8 / gamma^2 = 16)
+}
+
+// A mixed-degree polynomial: Algorithm 3's coefficient pre-processing
+// gives every monomial the same γ^{λ+1} factor.
+func ExampleEvaluatePolynomialSum() {
+	f := sqm.MustMulti(sqm.MustPolynomial(2,
+		sqm.Monomial{Coef: 0.5, Exps: []int{2, 0}}, // degree 2
+		sqm.Monomial{Coef: 1, Exps: []int{0, 1}},   // degree 1
+	))
+	x := sqm.FromRows([][]float64{{0.5, 0.25}, {0.25, 0.5}})
+	est, _, err := sqm.EvaluatePolynomialSum(f, x, sqm.Params{Gamma: 16, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.4f\n", est[0])
+	// Output: 0.9062
+}
+
+// Calibrating the aggregate Skellam parameter for a target privacy
+// level, then verifying it with the independent accountant.
+func ExampleCalibrateSkellamMu() {
+	delta2 := 1000.0 // quantized L2 sensitivity
+	mu, err := sqm.CalibrateSkellamMu(1.0, 1e-5, delta2, delta2, 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	eps, _ := sqm.SkellamEpsilon(delta2, delta2, mu, 1, 1, 1e-5)
+	fmt.Printf("meets target: %v\n", eps <= 1.0+1e-9)
+	// Output: meets target: true
+}
+
+// Releasing a 2-way marginal workload over binary vertical data: every
+// count is a degree-2 monomial aggregate released under one budget.
+func ExampleAnswerMarginals() {
+	x := sqm.FromRows([][]float64{
+		{1, 1, 0},
+		{1, 0, 1},
+		{1, 1, 1},
+		{0, 1, 1},
+	})
+	truth, err := sqm.TrueMarginals(x, sqm.AllPairMarginals(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("true counts: %v\n", truth)
+	r, err := sqm.AnswerMarginals(x, sqm.AllPairMarginals(3), 8, 1e-5, 64, sqm.Params{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("released %d private counts in [0, %d]\n", len(r.Counts), x.Rows)
+	// Output:
+	// true counts: [2 2 2]
+	// released 3 private counts in [0, 4]
+}
+
+// Tracking the privacy budget across heterogeneous releases on the same
+// database: RDP curves compose order-wise, tighter than summing ε.
+func ExampleNewAccountant() {
+	acct := sqm.NewAccountant(64)
+	acct.AddSkellam(100, 100, 1e6)              // a covariance release
+	acct.AddSubsampledGaussian(1, 3, 0.01, 500) // a DPSGD training run
+	eps, alpha := acct.Epsilon(1e-5)
+	fmt.Printf("two releases recorded: %d, eps finite: %v, alpha >= 2: %v\n",
+		acct.Releases(), eps > 0 && eps < 100, alpha >= 2)
+	// Output: two releases recorded: 2, eps finite: true, alpha >= 2: true
+}
+
+// Streaming the covariance protocol over record batches: out-of-core
+// databases fold in one batch at a time, and the finalized estimate is
+// identical to the one-shot protocol.
+func ExampleNewCovarianceStream() {
+	stream, err := sqm.NewCovarianceStream(2, sqm.Params{Gamma: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	batches := [][][]float64{
+		{{0.5, 0.25}, {0.25, 0.5}},
+		{{0.75, 0.5}},
+	}
+	for _, b := range batches {
+		if err := stream.Add(sqm.FromRows(b)); err != nil {
+			panic(err)
+		}
+	}
+	cov, _, err := stream.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rows=%d, C[0][1]=%.4f\n", stream.Rows(), cov.At(0, 1))
+	// Output: rows=3, C[0][1]=0.6250
+}
+
+// Budgeting an SQM degree for a target approximation accuracy before
+// paying the MPC cost: tanh on [−2, 2] to within 1e-2.
+func ExampleMinApproxDegree() {
+	p, err := sqm.MinApproxDegree(func(u float64) float64 {
+		return sqm.TanhOf(u)
+	}, 2, 1e-2, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("degree %d suffices\n", p.Degree())
+	// Output: degree 7 suffices
+}

@@ -1,0 +1,56 @@
+// Differentially private logistic regression in the VFL setting: the
+// scenario of §V-B. An ACSIncome-like task (predicting a binary income
+// indicator) is split column-wise; the model is trained with SQM's
+// distributed Skellam noise and compared against centralized DPSGD, the
+// local-DP baseline, and the non-private reference.
+//
+// Run with: go run ./examples/logreg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqm"
+)
+
+func main() {
+	ds, err := sqm.ACSIncomeLike("CA", 2000, 1000, 60, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s, m=%d train / %d test, d=%d features + 1 label column\n",
+		ds.Name, ds.Rows(), ds.TestX.Rows, ds.Cols())
+
+	nonpriv := sqm.TrainLogRegNonPrivate(ds.X, ds.Labels, 5)
+	fmt.Printf("\nnon-private test accuracy: %.3f\n\n", sqm.LogRegAccuracy(nonpriv, ds.TestX, ds.TestLabels))
+	fmt.Printf("%6s  %8s  %8s  %14s\n", "eps", "DPSGD", "Local", "SQM(g=2^13)")
+
+	for _, eps := range []float64{1, 2, 4, 8} {
+		cfg := sqm.LRConfig{
+			Eps: eps, Delta: 1e-5,
+			Epochs:     5,
+			SampleRate: 0.01,
+			Seed:       7,
+		}
+		dpsgd, err := sqm.TrainLogRegDPSGD(ds.X, ds.Labels, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		local, err := sqm.TrainLogRegLocal(ds.X, ds.Labels, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Gamma = 1 << 13
+		vflModel, err := sqm.TrainLogRegSQM(ds.X, ds.Labels, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.1f  %8.3f  %8.3f  %14.3f\n", eps,
+			sqm.LogRegAccuracy(dpsgd, ds.TestX, ds.TestLabels),
+			sqm.LogRegAccuracy(local, ds.TestX, ds.TestLabels),
+			sqm.LogRegAccuracy(vflModel, ds.TestX, ds.TestLabels))
+	}
+	fmt.Println("\nSQM tracks the centralized DPSGD baseline without any trusted party;")
+	fmt.Println("the local-DP baseline trains on noise-drowned features and labels.")
+}

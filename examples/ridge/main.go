@@ -1,0 +1,55 @@
+// Ridge regression under distributed DP — an application beyond the
+// paper's PCA and logistic regression that fits SQM's polynomial class
+// *exactly*: the sufficient statistics A = XᵀX and b = Xᵀy are degree-2
+// aggregates of the record (x, y), so the clients run the covariance
+// protocol on the augmented matrix [X | y] and the server solves the
+// ridge system on the noisy statistics.
+//
+// Run with: go run ./examples/ridge
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqm"
+)
+
+func main() {
+	ds := sqm.RegressionLike(5000, 1500, 16, 0.1, 1)
+	fmt.Printf("dataset: %s, m=%d train / %d test, d=%d features + 1 target column\n",
+		ds.Name, ds.Rows(), ds.TestX.Rows, ds.Cols())
+
+	base := sqm.RidgeConfig{Delta: 1e-5, C: 1, B: 1, Gamma: 2048, Seed: 9}
+
+	exact, err := sqm.RidgeExact(ds.X, ds.Labels, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnon-private test R²: %.3f\n\n", sqm.RidgeR2(exact, ds.TestX, ds.TestLabels))
+	fmt.Printf("%6s  %9s  %9s  %9s\n", "eps", "central", "local", "SQM")
+
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		cfg := base
+		cfg.Eps = eps
+		central, err := sqm.RidgeCentral(ds.X, ds.Labels, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		local, err := sqm.RidgeLocal(ds.X, ds.Labels, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		private, err := sqm.RidgeSQM(ds.X, ds.Labels, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.1f  %9.3f  %9.3f  %9.3f\n", eps,
+			sqm.RidgeR2(central, ds.TestX, ds.TestLabels),
+			sqm.RidgeR2(local, ds.TestX, ds.TestLabels),
+			sqm.RidgeR2(private, ds.TestX, ds.TestLabels))
+	}
+	fmt.Println("\nbecause the task is exactly polynomial, SQM needs no Taylor approximation here:")
+	fmt.Println("its gap to the centralized sufficient-statistics baseline is pure quantization")
+	fmt.Println("overhead and vanishes as gamma grows.")
+}

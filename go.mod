@@ -1,0 +1,3 @@
+module sqm
+
+go 1.22

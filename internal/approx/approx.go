@@ -1,0 +1,198 @@
+// Package approx builds polynomial approximations of the non-polynomial
+// activation functions that motivate SQM's problem class (§III of the
+// paper: "polynomials can be used to approximate various functions,
+// including the activation functions in deep learning models", citing
+// the GELU/Tanh approximations of Bolt). It provides
+//
+//   - Taylor expansions around 0 (the paper's H-th order sigmoid),
+//   - Chebyshev interpolation on an interval [−r, r], which is close to
+//     the minimax polynomial and much tighter than Taylor at the same
+//     degree away from the origin, and
+//   - sup-norm error estimation, so callers can pick the degree that
+//     meets a target accuracy before paying the MPC/DP cost of the
+//     corresponding SQM degree.
+//
+// The output is a plain coefficient vector convertible to a
+// poly.Polynomial in one variable (the inner product ⟨w, x⟩ in the
+// learning applications).
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"sqm/internal/poly"
+)
+
+// Func is a scalar function to approximate.
+type Func func(float64) float64
+
+// Sigmoid is 1/(1+e^{-u}).
+func Sigmoid(u float64) float64 { return 1 / (1 + math.Exp(-u)) }
+
+// Tanh is the hyperbolic tangent.
+func Tanh(u float64) float64 { return math.Tanh(u) }
+
+// GELU is the Gaussian error linear unit u·Φ(u).
+func GELU(u float64) float64 {
+	return u * 0.5 * (1 + math.Erf(u/math.Sqrt2))
+}
+
+// Poly1 is a univariate polynomial Σ_i Coefs[i]·u^i.
+type Poly1 struct {
+	Coefs []float64 // Coefs[i] multiplies u^i
+}
+
+// Degree returns the highest non-zero power (0 for the zero
+// polynomial).
+func (p *Poly1) Degree() int {
+	for i := len(p.Coefs) - 1; i >= 0; i-- {
+		if p.Coefs[i] != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Eval evaluates by Horner's rule.
+func (p *Poly1) Eval(u float64) float64 {
+	var v float64
+	for i := len(p.Coefs) - 1; i >= 0; i-- {
+		v = v*u + p.Coefs[i]
+	}
+	return v
+}
+
+// SupError estimates sup_{|u|<=r} |p(u) − f(u)| on a uniform grid.
+func (p *Poly1) SupError(f Func, r float64, gridPoints int) float64 {
+	if gridPoints < 2 {
+		gridPoints = 512
+	}
+	var worst float64
+	for i := 0; i <= gridPoints; i++ {
+		u := -r + 2*r*float64(i)/float64(gridPoints)
+		if e := math.Abs(p.Eval(u) - f(u)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// SigmoidTaylor returns the order-H Taylor expansion of the sigmoid at
+// 0. Odd orders only carry information (σ is ½ plus an odd function);
+// H=1 gives the paper's ½ + u/4, H=3 adds −u³/48, H=5 adds +u⁵/480.
+func SigmoidTaylor(order int) (*Poly1, error) {
+	// σ(u) = ½ + u/4 − u³/48 + u⁵/480 − 17u⁷/80640 + ...
+	full := []float64{0.5, 0.25, 0, -1.0 / 48, 0, 1.0 / 480, 0, -17.0 / 80640}
+	if order < 1 || order >= len(full) {
+		return nil, fmt.Errorf("approx: sigmoid Taylor order %d unsupported (1..%d)", order, len(full)-1)
+	}
+	return &Poly1{Coefs: append([]float64(nil), full[:order+1]...)}, nil
+}
+
+// TanhTaylor returns the order-H Taylor expansion of tanh at 0:
+// u − u³/3 + 2u⁵/15 − 17u⁷/315.
+func TanhTaylor(order int) (*Poly1, error) {
+	full := []float64{0, 1, 0, -1.0 / 3, 0, 2.0 / 15, 0, -17.0 / 315}
+	if order < 1 || order >= len(full) {
+		return nil, fmt.Errorf("approx: tanh Taylor order %d unsupported (1..%d)", order, len(full)-1)
+	}
+	return &Poly1{Coefs: append([]float64(nil), full[:order+1]...)}, nil
+}
+
+// Chebyshev fits the degree-n Chebyshev interpolant of f on [−r, r]
+// (Chebyshev nodes of the first kind), returned in the monomial basis.
+// For smooth f this is within a small factor of the best uniform
+// approximation of that degree.
+func Chebyshev(f Func, r float64, degree int) (*Poly1, error) {
+	if degree < 0 || degree > 30 {
+		return nil, fmt.Errorf("approx: Chebyshev degree %d out of range [0, 30]", degree)
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("approx: interval radius must be positive, got %v", r)
+	}
+	n := degree + 1
+	// Chebyshev coefficients c_k of f(r·cosθ).
+	c := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			theta := math.Pi * (float64(j) + 0.5) / float64(n)
+			sum += f(r*math.Cos(theta)) * math.Cos(float64(k)*theta)
+		}
+		c[k] = 2 * sum / float64(n)
+	}
+	c[0] /= 2
+	// Convert Σ c_k T_k(u/r) to monomial coefficients via the T_k
+	// recurrence, tracked in the scaled variable t = u/r.
+	tPrev := []float64{1}   // T_0
+	tCur := []float64{0, 1} // T_1
+	mono := make([]float64, n)
+	addScaled := func(dst *[]float64, src []float64, s float64) {
+		for i, v := range src {
+			for len(*dst) <= i {
+				*dst = append(*dst, 0)
+			}
+			(*dst)[i] += s * v
+		}
+	}
+	acc := []float64{}
+	addScaled(&acc, tPrev, c[0])
+	if n > 1 {
+		addScaled(&acc, tCur, c[1])
+	}
+	for k := 2; k < n; k++ {
+		// T_k = 2t·T_{k-1} − T_{k-2}.
+		next := make([]float64, len(tCur)+1)
+		for i, v := range tCur {
+			next[i+1] += 2 * v
+		}
+		for i, v := range tPrev {
+			next[i] -= v
+		}
+		addScaled(&acc, next, c[k])
+		tPrev, tCur = tCur, next
+	}
+	copy(mono, acc)
+	// Undo the variable scaling t = u/r: coefficient of u^i divides r^i.
+	for i := range mono {
+		mono[i] /= math.Pow(r, float64(i))
+	}
+	return &Poly1{Coefs: mono}, nil
+}
+
+// MinDegreeFor searches for the smallest Chebyshev degree (up to
+// maxDegree) whose sup error on [−r, r] is at most tol. It returns the
+// polynomial or an error when no degree in range suffices — the caller
+// then knows the task needs a budget SQM cannot meet at this precision.
+func MinDegreeFor(f Func, r, tol float64, maxDegree int) (*Poly1, error) {
+	if maxDegree > 30 {
+		maxDegree = 30
+	}
+	for deg := 1; deg <= maxDegree; deg++ {
+		p, err := Chebyshev(f, r, deg)
+		if err != nil {
+			return nil, err
+		}
+		if p.SupError(f, r, 1024) <= tol {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("approx: no degree <= %d reaches tolerance %v on [-%v, %v]", maxDegree, tol, r, r)
+}
+
+// ToUnivariatePoly converts to a poly.Polynomial over one variable,
+// ready for SQM evaluation.
+func (p *Poly1) ToUnivariatePoly() *poly.Polynomial {
+	ms := make([]poly.Monomial, 0, len(p.Coefs))
+	for i, c := range p.Coefs {
+		if c == 0 {
+			continue
+		}
+		ms = append(ms, poly.Monomial{Coef: c, Exps: []int{i}})
+	}
+	if len(ms) == 0 {
+		ms = append(ms, poly.Monomial{Coef: 0, Exps: []int{0}})
+	}
+	return poly.MustPolynomial(1, ms...)
+}

@@ -1,0 +1,200 @@
+package approx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestActivationValues(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v", Sigmoid(0))
+	}
+	if math.Abs(Sigmoid(2)-1/(1+math.Exp(-2))) > 1e-15 {
+		t.Fatal("Sigmoid(2)")
+	}
+	if Tanh(0) != 0 || math.Abs(Tanh(1)-math.Tanh(1)) > 1e-15 {
+		t.Fatal("Tanh")
+	}
+	if GELU(0) != 0 {
+		t.Fatalf("GELU(0) = %v", GELU(0))
+	}
+	// GELU(u) → u for large u, → 0 for very negative u.
+	if math.Abs(GELU(10)-10) > 1e-6 {
+		t.Fatalf("GELU(10) = %v", GELU(10))
+	}
+	if math.Abs(GELU(-10)) > 1e-6 {
+		t.Fatalf("GELU(-10) = %v", GELU(-10))
+	}
+}
+
+func TestPoly1EvalAndDegree(t *testing.T) {
+	p := &Poly1{Coefs: []float64{1, 0, 2}} // 1 + 2u²
+	if p.Degree() != 2 {
+		t.Fatalf("Degree = %d", p.Degree())
+	}
+	if got := p.Eval(3); got != 19 {
+		t.Fatalf("Eval = %v", got)
+	}
+	if (&Poly1{Coefs: []float64{0, 0}}).Degree() != 0 {
+		t.Fatal("zero polynomial degree")
+	}
+}
+
+func TestSigmoidTaylorMatchesPaper(t *testing.T) {
+	p1, err := SigmoidTaylor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's H=1: σ(u) ≈ ½ + u/4.
+	if p1.Coefs[0] != 0.5 || p1.Coefs[1] != 0.25 {
+		t.Fatalf("H=1 coefficients = %v", p1.Coefs)
+	}
+	p3, err := SigmoidTaylor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Coefs[3] != -1.0/48 {
+		t.Fatalf("H=3 cubic coefficient = %v", p3.Coefs[3])
+	}
+	if _, err := SigmoidTaylor(0); err == nil {
+		t.Fatal("order 0 must be rejected")
+	}
+	if _, err := SigmoidTaylor(99); err == nil {
+		t.Fatal("huge order must be rejected")
+	}
+}
+
+func TestTaylorErrorShrinksWithOrder(t *testing.T) {
+	prev := math.Inf(1)
+	for _, order := range []int{1, 3, 5} {
+		p, err := SigmoidTaylor(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := p.SupError(Sigmoid, 1, 1024)
+		if e >= prev {
+			t.Fatalf("order %d: error %v did not shrink (prev %v)", order, e, prev)
+		}
+		prev = e
+	}
+	if prev > 2e-3 {
+		t.Fatalf("order-5 Taylor error on [-1,1] = %v", prev)
+	}
+}
+
+func TestTanhTaylor(t *testing.T) {
+	p, err := TanhTaylor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Coefs[1] != 1 || p.Coefs[3] != -1.0/3 {
+		t.Fatalf("tanh coefficients = %v", p.Coefs)
+	}
+	if e := p.SupError(Tanh, 0.5, 512); e > 5e-3 {
+		t.Fatalf("tanh order-3 error on [-0.5,0.5] = %v", e)
+	}
+}
+
+func TestChebyshevExactOnPolynomials(t *testing.T) {
+	// Chebyshev interpolation of a degree-2 polynomial at degree >= 2
+	// must be exact (up to float rounding).
+	f := func(u float64) float64 { return 3 - 2*u + 0.5*u*u }
+	p, err := Chebyshev(f, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, -2, 0.5}
+	for i, w := range want {
+		if math.Abs(p.Coefs[i]-w) > 1e-10 {
+			t.Fatalf("Coefs = %v, want %v", p.Coefs, want)
+		}
+	}
+}
+
+func TestChebyshevBeatsTaylorAwayFromOrigin(t *testing.T) {
+	// On [-4, 4] the degree-3 Chebyshev sigmoid is far better than the
+	// degree-3 Taylor one — the reason MPC systems use minimax fits.
+	taylor, err := SigmoidTaylor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheb, err := Chebyshev(Sigmoid, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := taylor.SupError(Sigmoid, 4, 1024)
+	ce := cheb.SupError(Sigmoid, 4, 1024)
+	if ce >= te/4 {
+		t.Fatalf("Chebyshev error %v should be well below Taylor %v", ce, te)
+	}
+}
+
+func TestChebyshevErrorDecreasesWithDegree(t *testing.T) {
+	prev := math.Inf(1)
+	for _, deg := range []int{1, 3, 5, 9} {
+		p, err := Chebyshev(GELU, 3, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := p.SupError(GELU, 3, 1024)
+		if e >= prev {
+			t.Fatalf("degree %d: error %v did not shrink (prev %v)", deg, e, prev)
+		}
+		prev = e
+	}
+	if prev > 5e-3 {
+		t.Fatalf("degree-9 GELU error on [-3,3] = %v", prev)
+	}
+}
+
+func TestChebyshevValidation(t *testing.T) {
+	if _, err := Chebyshev(Sigmoid, 0, 3); err == nil {
+		t.Fatal("r=0 must be rejected")
+	}
+	if _, err := Chebyshev(Sigmoid, 1, -1); err == nil {
+		t.Fatal("negative degree must be rejected")
+	}
+	if _, err := Chebyshev(Sigmoid, 1, 31); err == nil {
+		t.Fatal("degree > 30 must be rejected")
+	}
+}
+
+func TestMinDegreeFor(t *testing.T) {
+	p, err := MinDegreeFor(Tanh, 2, 1e-3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := p.SupError(Tanh, 2, 2048); e > 1.5e-3 {
+		t.Fatalf("returned polynomial misses tolerance: %v", e)
+	}
+	// And a lower degree must not suffice.
+	if p.Degree() > 1 {
+		lower, err := Chebyshev(Tanh, 2, p.Degree()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lower.SupError(Tanh, 2, 2048) <= 1e-3 {
+			t.Fatal("MinDegreeFor did not return the minimal degree")
+		}
+	}
+	if _, err := MinDegreeFor(Sigmoid, 50, 1e-12, 5); err == nil {
+		t.Fatal("unreachable tolerance must error")
+	}
+}
+
+func TestToUnivariatePoly(t *testing.T) {
+	p := &Poly1{Coefs: []float64{0.5, 0.25, 0, -1.0 / 48}}
+	up := p.ToUnivariatePoly()
+	if up.Degree() != 3 {
+		t.Fatalf("Degree = %d", up.Degree())
+	}
+	for _, u := range []float64{-0.9, 0, 0.4} {
+		if got, want := up.Eval([]float64{u}), p.Eval(u); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("Eval(%v) = %v, want %v", u, got, want)
+		}
+	}
+	zero := (&Poly1{Coefs: []float64{0}}).ToUnivariatePoly()
+	if zero.Eval([]float64{3}) != 0 {
+		t.Fatal("zero polynomial conversion")
+	}
+}

@@ -1,0 +1,130 @@
+package audit
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/dp"
+	"sqm/internal/randx"
+)
+
+// skellamPair builds neighboring samplers for F(X)=0 vs F(X')=1 with
+// Sk(mu) noise — the scalar core of SQM.
+func skellamPair(mu float64) (Sampler, Sampler) {
+	on := func(shift float64) Sampler {
+		return func(trial int) float64 {
+			g := randx.New(uint64(trial)*2654435761 + 17)
+			return shift + float64(g.Skellam(mu))
+		}
+	}
+	return on(0), on(1)
+}
+
+func TestConfigValidation(t *testing.T) {
+	a, b := skellamPair(10)
+	if _, err := EstimateEpsilon(a, b, Config{Trials: 10}); err == nil {
+		t.Fatal("tiny trial count must be rejected")
+	}
+	if _, err := EstimateEpsilon(a, b, Config{Bins: 1}); err == nil {
+		t.Fatal("single bin must be rejected")
+	}
+	if _, err := EstimateEpsilon(a, b, Config{Delta: -1}); err == nil {
+		t.Fatal("negative delta must be rejected")
+	}
+}
+
+func TestSkellamMechanismPassesAudit(t *testing.T) {
+	// mu = 8 with sensitivity 1: theoretical eps (delta=1e-5) from the
+	// accountant.
+	eps, _ := dp.SkellamEpsilon(1, 1, 8, 1, 1, 1e-5, 128)
+	a, b := skellamPair(8)
+	r, err := EstimateEpsilon(a, b, Config{Trials: 30000, Bins: 30, Delta: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpsilonLower <= 0 {
+		t.Fatal("neighboring inputs must witness some privacy loss")
+	}
+	if r.EpsilonLower > eps+0.3 {
+		t.Fatalf("empirical eps %v far above theoretical %v — implementation leak", r.EpsilonLower, eps)
+	}
+}
+
+func TestNoiselessMechanismFailsAudit(t *testing.T) {
+	// A "DP" mechanism that forgot its noise: empirical epsilon blows up.
+	onX := func(trial int) float64 { return 0 }
+	onY := func(trial int) float64 { return 1 }
+	r, err := EstimateEpsilon(onX, onY, Config{Trials: 5000, Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.EpsilonLower, 1) && r.EpsilonLower < 3 {
+		t.Fatalf("noiseless mechanism should be flagged, got %v", r.EpsilonLower)
+	}
+}
+
+func TestUndernoisedMechanismFlagged(t *testing.T) {
+	// Gaussian noise 10x too small for a claimed eps=1 budget.
+	sigma, err := dp.AnalyticGaussianSigma(1, 1e-5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak := sigma / 10
+	on := func(shift float64) Sampler {
+		return func(trial int) float64 {
+			g := randx.New(uint64(trial)*97 + 3)
+			return shift + g.Gaussian(0, weak)
+		}
+	}
+	r, err := EstimateEpsilon(on(0), on(1), Config{Trials: 30000, Bins: 40, Delta: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpsilonLower < 2 {
+		t.Fatalf("under-noised mechanism should exceed its eps=1 claim clearly, got %v", r.EpsilonLower)
+	}
+}
+
+func TestProperGaussianPassesAudit(t *testing.T) {
+	sigma, err := dp.AnalyticGaussianSigma(1, 1e-5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := func(shift float64) Sampler {
+		return func(trial int) float64 {
+			g := randx.New(uint64(trial)*131 + 7)
+			return shift + g.Gaussian(0, sigma)
+		}
+	}
+	r, err := EstimateEpsilon(on(0), on(1), Config{Trials: 30000, Bins: 40, Delta: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpsilonLower > 1.3 {
+		t.Fatalf("calibrated Gaussian flagged: empirical %v for claimed 1", r.EpsilonLower)
+	}
+}
+
+func TestIdenticalConstantMechanisms(t *testing.T) {
+	on := func(trial int) float64 { return 42 }
+	r, err := EstimateEpsilon(on, on, Config{Trials: 1000, Bins: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpsilonLower != 0 {
+		t.Fatalf("identical constants have zero privacy loss, got %v", r.EpsilonLower)
+	}
+}
+
+func TestDistinctConstantMechanisms(t *testing.T) {
+	// Same-range degenerate outputs with a blatant difference.
+	onX := func(trial int) float64 { return 0 }
+	onY := func(trial int) float64 { return 0.0001 }
+	r, err := EstimateEpsilon(onX, onY, Config{Trials: 1000, Bins: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpsilonLower < 3 && !math.IsInf(r.EpsilonLower, 1) {
+		t.Fatalf("blatant difference not flagged: %v", r.EpsilonLower)
+	}
+}

@@ -1,0 +1,68 @@
+package audit
+
+import (
+	"testing"
+
+	"sqm/internal/core"
+	"sqm/internal/dp"
+	"sqm/internal/linalg"
+	"sqm/internal/poly"
+)
+
+// TestAuditRealSQMPipeline runs the membership audit against the actual
+// mechanism end to end: neighboring databases differing in one record,
+// the full quantize→evaluate→noise→rescale pipeline, and the Lemma 3
+// calibration. The empirical privacy loss must stay within the claimed
+// budget.
+func TestAuditRealSQMPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const (
+		gamma  = 64.0
+		eps    = 1.0
+		delta  = 1e-5
+		trials = 20000
+	)
+	// One-dimensional monomial x1·x2 over records with ‖x‖ ≤ 1:
+	// quantized sensitivity γ²·max|f| + slack (Lemma 3's Δ).
+	target := poly.Monomial{Coef: 1, Exps: []int{1, 1}}
+	d2 := gamma*gamma + 2*gamma + 1 // (γ·1+1)² crude per-record bound
+	mu, err := dp.CalibrateSkellamMu(eps, delta, d2, d2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := linalg.FromRows([][]float64{
+		{0.5, 0.5},
+		{0.25, 0.75},
+		{0.6, 0.2},
+	})
+	withRecord := linalg.FromRows([][]float64{
+		{0.5, 0.5},
+		{0.25, 0.75},
+		{0.6, 0.2},
+		{0.7, 0.7}, // the disputed record, near-worst-case f(x)
+	})
+	run := func(x *linalg.Matrix) Sampler {
+		return func(trial int) float64 {
+			est, _, err := core.EvaluateMonomialSum(target, x, core.Params{
+				Gamma: gamma, Mu: mu, NumClients: 2, Seed: uint64(trial)*7919 + 13,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est
+		}
+	}
+	r, err := EstimateEpsilon(run(base), run(withRecord), Config{Trials: trials, Bins: 30, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpsilonLower <= 0 {
+		t.Fatal("adding a record must witness some privacy loss")
+	}
+	if r.EpsilonLower > eps+0.35 {
+		t.Fatalf("empirical privacy loss %v exceeds the claimed eps=%v — pipeline leak", r.EpsilonLower, eps)
+	}
+}

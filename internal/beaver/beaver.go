@@ -1,0 +1,130 @@
+// Package beaver implements a second semi-honest MPC backend for SQM:
+// additive secret sharing with Beaver multiplication triples in the
+// offline/online paradigm. The paper uses BGW but notes that "one can
+// replace BGW with any other MPC protocol without affecting the DP
+// guarantees" (§II); this engine demonstrates that replaceability and
+// quantifies the trade-off: multiplications consume pre-computed
+// triples, making the *online* phase two openings per product — far
+// lighter than BGW's resharing — at the cost of an offline phase.
+//
+// Triples are produced by a TripleSource. BGWSource derives them with
+// no trusted party: a and b are sums of locally drawn randomness
+// (additive sharing of a uniform value is non-interactive), and
+// c = a·b is computed by one BGW multiplication whose Shamir output
+// converts to an additive sharing locally (party i holds λ_i·s_i, and
+// Σ_i λ_i·s_i is the secret). DealerSource hands out triples from a
+// central sampler — a test fixture that models a setup phase, not a
+// deployment option under the paper's threat model.
+package beaver
+
+import (
+	"fmt"
+
+	"sqm/internal/bgw"
+	"sqm/internal/field"
+	"sqm/internal/randx"
+	"sqm/internal/shamir"
+)
+
+// Triple is an additively shared Beaver triple: per-party shares of
+// uniform a, b and of c = a·b.
+type Triple struct {
+	A, B, C []field.Elem // one share per party
+}
+
+// TripleSource produces Beaver triples for P parties.
+type TripleSource interface {
+	// Triples returns n fresh triples. The cost of producing them is
+	// the offline phase; engines meter it separately.
+	Triples(n int) ([]Triple, error)
+}
+
+// DealerSource samples triples centrally. For tests and cost modeling
+// only — it is NOT deployable under the no-trusted-party threat model.
+type DealerSource struct {
+	Parties int
+	RNG     *randx.RNG
+}
+
+// Triples implements TripleSource.
+func (d *DealerSource) Triples(n int) ([]Triple, error) {
+	if d.Parties < 2 {
+		return nil, fmt.Errorf("beaver: dealer needs >= 2 parties")
+	}
+	out := make([]Triple, n)
+	for i := range out {
+		a, b := field.Rand(d.RNG), field.Rand(d.RNG)
+		out[i] = Triple{
+			A: additiveShares(a, d.Parties, d.RNG),
+			B: additiveShares(b, d.Parties, d.RNG),
+			C: additiveShares(field.Mul(a, b), d.Parties, d.RNG),
+		}
+	}
+	return out, nil
+}
+
+// BGWSource produces triples without any trusted party, using one BGW
+// multiplication per triple and the local Shamir→additive conversion.
+type BGWSource struct {
+	eng  *bgw.Engine
+	rngs []*randx.RNG
+	lag  []field.Elem
+}
+
+// NewBGWSource wires a source to a BGW engine (which meters the offline
+// communication on its own stats).
+func NewBGWSource(eng *bgw.Engine, seed uint64) *BGWSource {
+	root := randx.New(seed ^ 0xbea4)
+	rngs := make([]*randx.RNG, eng.Parties())
+	for i := range rngs {
+		rngs[i] = root.Fork()
+	}
+	return &BGWSource{
+		eng:  eng,
+		rngs: rngs,
+		lag:  shamir.LagrangeAtZero(shamir.PartyPoints(eng.Parties())),
+	}
+}
+
+// Triples implements TripleSource: a and b are sums of per-party local
+// randomness; c comes from one BGW multiplication on those inputs.
+func (s *BGWSource) Triples(n int) ([]Triple, error) {
+	p := s.eng.Parties()
+	out := make([]Triple, n)
+	for i := range out {
+		aShares := make([]field.Elem, p)
+		bShares := make([]field.Elem, p)
+		// Each party draws its additive share locally (free) and
+		// inputs it into BGW to obtain Shamir sharings of a and b.
+		var aS, bS *bgw.Shared
+		for j := 0; j < p; j++ {
+			aShares[j] = field.Rand(s.rngs[j])
+			bShares[j] = field.Rand(s.rngs[j])
+			ja := s.eng.InputElem(j, aShares[j])
+			jb := s.eng.InputElem(j, bShares[j])
+			if aS == nil {
+				aS, bS = ja, jb
+			} else {
+				aS, bS = s.eng.Add(aS, ja), s.eng.Add(bS, jb)
+			}
+		}
+		s.eng.AdvanceRound()
+		cS := s.eng.Mul(aS, bS)
+		s.eng.AdvanceRound()
+		// Local Shamir→additive conversion: party j holds λ_j·share_j.
+		out[i] = Triple{A: aShares, B: bShares, C: cS.AdditiveShares(s.lag)}
+	}
+	return out, nil
+}
+
+// additiveShares splits v into p uniformly random addends.
+func additiveShares(v field.Elem, p int, rng *randx.RNG) []field.Elem {
+	out := make([]field.Elem, p)
+	var sum field.Elem
+	for i := 0; i < p-1; i++ {
+		out[i] = field.Rand(rng)
+		sum = field.Add(sum, out[i])
+	}
+	out[p-1] = field.Sub(v, sum)
+	return out
+}

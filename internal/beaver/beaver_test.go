@@ -1,0 +1,251 @@
+package beaver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sqm/internal/bgw"
+	"sqm/internal/field"
+	"sqm/internal/randx"
+)
+
+func newDealerEngine(t *testing.T, parties, triples int) *Engine {
+	t.Helper()
+	e, err := NewEngine(Config{Parties: parties, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Precompute(triples); err != nil {
+		t.Fatal(err)
+	}
+	e.ResetStats()
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Config{Parties: 1}); err == nil {
+		t.Fatal("single party must be rejected")
+	}
+	e, err := NewEngine(Config{Parties: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Parties() != 2 {
+		t.Fatal("party count")
+	}
+}
+
+func TestInputOpenRoundTrip(t *testing.T) {
+	e := newDealerEngine(t, 3, 0)
+	for _, v := range []int64{0, 7, -7, 1 << 40, -(1 << 40)} {
+		s := e.Input(int(uint64(v)%3), v)
+		if got := e.Open(s); got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestAdditiveSharesHideSecret(t *testing.T) {
+	// No single addend should equal the secret systematically.
+	e := newDealerEngine(t, 4, 0)
+	hits := 0
+	for trial := 0; trial < 200; trial++ {
+		s := e.Input(0, 123456)
+		for _, sh := range s.shares {
+			if sh == 123456 {
+				hits++
+			}
+		}
+	}
+	if hits > 2 {
+		t.Fatalf("addends leak the secret (%d hits)", hits)
+	}
+}
+
+func TestLinearOps(t *testing.T) {
+	e := newDealerEngine(t, 3, 0)
+	a := e.Input(0, 100)
+	b := e.Input(1, -30)
+	if got := e.Open(e.Add(a, b)); got != 70 {
+		t.Fatalf("Add = %d", got)
+	}
+	if got := e.Open(e.Sub(a, b)); got != 130 {
+		t.Fatalf("Sub = %d", got)
+	}
+	if got := e.Open(e.AddConst(a, 5)); got != 105 {
+		t.Fatalf("AddConst = %d", got)
+	}
+	if got := e.Open(e.MulConst(b, -2)); got != 60 {
+		t.Fatalf("MulConst = %d", got)
+	}
+	if got := e.Open(e.Zero()); got != 0 {
+		t.Fatalf("Zero = %d", got)
+	}
+}
+
+func TestBeaverMulCorrect(t *testing.T) {
+	e := newDealerEngine(t, 4, 32)
+	cases := [][2]int64{{3, 7}, {-5, 11}, {0, 999}, {-8, -9}, {1 << 25, 1 << 25}}
+	for _, c := range cases {
+		z, err := e.Mul(e.Input(0, c[0]), e.Input(1, c[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Open(z); got != c[0]*c[1] {
+			t.Fatalf("Mul(%d, %d) = %d", c[0], c[1], got)
+		}
+	}
+}
+
+func TestBeaverMulProperty(t *testing.T) {
+	e := newDealerEngine(t, 3, 400)
+	f := func(a, b int32) bool {
+		x, y := int64(a%(1<<29)), int64(b%(1<<29))
+		z, err := e.Mul(e.Input(0, x), e.Input(1, y))
+		if err != nil {
+			return false
+		}
+		return e.Open(z) == x*y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriplePoolExhaustion(t *testing.T) {
+	e := newDealerEngine(t, 3, 1)
+	a, b := e.Input(0, 2), e.Input(1, 3)
+	if _, err := e.Mul(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Mul(a, b); err != ErrOutOfTriples {
+		t.Fatalf("err = %v, want ErrOutOfTriples", err)
+	}
+	if e.PoolSize() != 0 {
+		t.Fatal("pool should be empty")
+	}
+}
+
+func TestStatsMeterTriplesAndMessages(t *testing.T) {
+	e := newDealerEngine(t, 4, 4)
+	a, b := e.Input(0, 2), e.Input(1, 3)
+	e.ResetStats()
+	if _, err := e.Mul(a, b); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Triples != 1 {
+		t.Fatalf("Triples = %d", st.Triples)
+	}
+	// Two openings of P(P-1) messages each.
+	if st.Messages != 2*4*3 {
+		t.Fatalf("Messages = %d", st.Messages)
+	}
+}
+
+func TestDealerTriplesAreValid(t *testing.T) {
+	d := &DealerSource{Parties: 5, RNG: randx.New(9)}
+	ts, err := d.Triples(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ts {
+		var a, b, c field.Elem
+		for i := 0; i < 5; i++ {
+			a = field.Add(a, tr.A[i])
+			b = field.Add(b, tr.B[i])
+			c = field.Add(c, tr.C[i])
+		}
+		if field.Mul(a, b) != c {
+			t.Fatal("dealer triple violates c = a*b")
+		}
+	}
+}
+
+func TestBGWSourceTriplesAreValid(t *testing.T) {
+	bgwEng, err := bgw.NewEngine(bgw.Config{Parties: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewBGWSource(bgwEng, 11)
+	ts, err := src.Triples(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ts {
+		var a, b, c field.Elem
+		for i := 0; i < 4; i++ {
+			a = field.Add(a, tr.A[i])
+			b = field.Add(b, tr.B[i])
+			c = field.Add(c, tr.C[i])
+		}
+		if field.Mul(a, b) != c {
+			t.Fatal("BGW-generated triple violates c = a*b")
+		}
+	}
+	if bgwEng.Stats().Messages == 0 {
+		t.Fatal("offline phase must cost communication")
+	}
+}
+
+func TestBeaverEngineWithBGWSourceEndToEnd(t *testing.T) {
+	bgwEng, err := bgw.NewEngine(bgw.Config{Parties: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{Parties: 4, Seed: 13, Source: NewBGWSource(bgwEng, 13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Precompute(8); err != nil {
+		t.Fatal(err)
+	}
+	e.ResetStats()
+	// Evaluate x*y + w*z - 5 online.
+	x, y := e.Input(0, 6), e.Input(1, 7)
+	w, z := e.Input(2, -3), e.Input(3, 4)
+	xy, err := e.Mul(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wz, err := e.Mul(w, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Open(e.AddConst(e.Add(xy, wz), -5))
+	if got != 6*7-3*4-5 {
+		t.Fatalf("end-to-end = %d", got)
+	}
+	// Online multiplications are cheap: no resharing, only openings.
+	if e.Stats().Triples != 2 {
+		t.Fatalf("triples consumed = %d", e.Stats().Triples)
+	}
+}
+
+func TestOnlineCheaperThanBGWPerMultiplication(t *testing.T) {
+	// The point of the offline/online split: count online messages per
+	// multiplication against BGW's resharing.
+	const parties = 4
+	e := newDealerEngine(t, parties, 1)
+	a, b := e.Input(0, 3), e.Input(1, 4)
+	e.ResetStats()
+	if _, err := e.Mul(a, b); err != nil {
+		t.Fatal(err)
+	}
+	beaverMsgs := e.Stats().Messages
+
+	bgwEng, err := bgw.NewEngine(bgw.Config{Parties: parties, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := bgwEng.Input(0, 3), bgwEng.Input(1, 4)
+	bgwEng.ResetStats()
+	bgwEng.Mul(x, y)
+	bgwMsgs := bgwEng.Stats().Messages
+
+	// Beaver: 2 openings; BGW: full resharing. Equal at P=4 in message
+	// count, but Beaver needs no Shamir evaluation — compare field ops.
+	if beaverMsgs > 2*bgwMsgs {
+		t.Fatalf("beaver online messages %d unexpectedly high vs BGW %d", beaverMsgs, bgwMsgs)
+	}
+}

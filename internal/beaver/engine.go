@@ -1,0 +1,206 @@
+package beaver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sqm/internal/field"
+	"sqm/internal/randx"
+)
+
+// ErrOutOfTriples is returned when a multiplication finds the triple
+// pool empty — callers size the offline phase with Precompute.
+var ErrOutOfTriples = errors.New("beaver: triple pool exhausted; call Precompute")
+
+// Config describes a Beaver-engine deployment.
+type Config struct {
+	Parties int           // P >= 2
+	Latency time.Duration // per communication round; 0 means 100 ms
+	Seed    uint64
+	Source  TripleSource // nil means a DealerSource (tests/cost modeling)
+}
+
+// Stats meters the online phase.
+type Stats struct {
+	Rounds   int64
+	Messages int64
+	FieldOps int64
+	Triples  int64 // consumed
+}
+
+// Engine simulates the P parties of the online phase.
+type Engine struct {
+	p       int
+	latency time.Duration
+	rngs    []*randx.RNG
+	source  TripleSource
+	pool    []Triple
+	stats   Stats
+}
+
+// NewEngine validates the configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Parties < 2 {
+		return nil, fmt.Errorf("beaver: need at least 2 parties, got %d", cfg.Parties)
+	}
+	lat := cfg.Latency
+	if lat == 0 {
+		lat = 100 * time.Millisecond
+	}
+	e := &Engine{p: cfg.Parties, latency: lat}
+	root := randx.New(cfg.Seed ^ 0xadd17e)
+	for i := 0; i < cfg.Parties; i++ {
+		e.rngs = append(e.rngs, root.Fork())
+	}
+	e.source = cfg.Source
+	if e.source == nil {
+		e.source = &DealerSource{Parties: cfg.Parties, RNG: root.Fork()}
+	}
+	return e, nil
+}
+
+// Parties returns P.
+func (e *Engine) Parties() int { return e.p }
+
+// Stats returns the online counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the online counters (typically after Precompute so
+// the offline phase is not mixed in).
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// AdvanceRound accounts one communication round.
+func (e *Engine) AdvanceRound() { e.stats.Rounds++ }
+
+// Precompute fills the triple pool (the offline phase).
+func (e *Engine) Precompute(n int) error {
+	ts, err := e.source.Triples(n)
+	if err != nil {
+		return err
+	}
+	e.pool = append(e.pool, ts...)
+	return nil
+}
+
+// PoolSize returns the remaining triples.
+func (e *Engine) PoolSize() int { return len(e.pool) }
+
+// Share is an additively shared value: the secret is Σ shares[i].
+type Share struct {
+	eng    *Engine
+	shares []field.Elem
+}
+
+// Input has party owner share the signed value v: the owner picks P−1
+// random addends and keeps the difference, sending one addend to each
+// other party.
+func (e *Engine) Input(owner int, v int64) *Share {
+	if owner < 0 || owner >= e.p {
+		panic("beaver: owner out of range")
+	}
+	sh := additiveShares(field.FromInt64(v), e.p, e.rngs[owner])
+	e.stats.Messages += int64(e.p - 1)
+	return &Share{eng: e, shares: sh}
+}
+
+// Zero returns a trivial sharing of 0.
+func (e *Engine) Zero() *Share {
+	return &Share{eng: e, shares: make([]field.Elem, e.p)}
+}
+
+// Add is local: additive shares add pointwise.
+func (e *Engine) Add(a, b *Share) *Share {
+	e.checkSame(a, b)
+	out := make([]field.Elem, e.p)
+	for i := range out {
+		out[i] = field.Add(a.shares[i], b.shares[i])
+	}
+	return &Share{eng: e, shares: out}
+}
+
+// Sub is local.
+func (e *Engine) Sub(a, b *Share) *Share {
+	e.checkSame(a, b)
+	out := make([]field.Elem, e.p)
+	for i := range out {
+		out[i] = field.Sub(a.shares[i], b.shares[i])
+	}
+	return &Share{eng: e, shares: out}
+}
+
+// AddConst adds a public constant: only party 0 adjusts its share.
+func (e *Engine) AddConst(a *Share, c int64) *Share {
+	out := append([]field.Elem(nil), a.shares...)
+	out[0] = field.Add(out[0], field.FromInt64(c))
+	return &Share{eng: e, shares: out}
+}
+
+// MulConst multiplies by a public constant: local on every share.
+func (e *Engine) MulConst(a *Share, c int64) *Share {
+	ce := field.FromInt64(c)
+	out := make([]field.Elem, e.p)
+	for i := range out {
+		out[i] = field.Mul(a.shares[i], ce)
+	}
+	e.stats.FieldOps += int64(e.p)
+	return &Share{eng: e, shares: out}
+}
+
+// Mul multiplies two shared values with one Beaver triple: the parties
+// open d = x−a and ε = y−b (two values, one round when batched) and set
+// z = c + d·b + ε·a + d·ε (the public d·ε added by party 0).
+func (e *Engine) Mul(x, y *Share) (*Share, error) {
+	e.checkSame(x, y)
+	if len(e.pool) == 0 {
+		return nil, ErrOutOfTriples
+	}
+	t := e.pool[len(e.pool)-1]
+	e.pool = e.pool[:len(e.pool)-1]
+	e.stats.Triples++
+
+	d := e.openRaw(subShares(x.shares, t.A))
+	eps := e.openRaw(subShares(y.shares, t.B))
+	out := make([]field.Elem, e.p)
+	for i := 0; i < e.p; i++ {
+		v := field.Add(t.C[i], field.Mul(d, t.B[i]))
+		v = field.Add(v, field.Mul(eps, t.A[i]))
+		out[i] = v
+	}
+	out[0] = field.Add(out[0], field.Mul(d, eps))
+	e.stats.FieldOps += int64(4*e.p + 1)
+	return &Share{eng: e, shares: out}, nil
+}
+
+// Open reveals the signed secret (all parties broadcast their addend).
+func (e *Engine) Open(s *Share) int64 {
+	if s.eng != e {
+		panic("beaver: foreign share")
+	}
+	return field.ToInt64(e.openRaw(s.shares))
+}
+
+// openRaw meters one broadcast opening and sums the addends.
+func (e *Engine) openRaw(shares []field.Elem) field.Elem {
+	e.stats.Messages += int64(e.p * (e.p - 1))
+	e.stats.FieldOps += int64(e.p)
+	var sum field.Elem
+	for _, sh := range shares {
+		sum = field.Add(sum, sh)
+	}
+	return sum
+}
+
+func subShares(a, b []field.Elem) []field.Elem {
+	out := make([]field.Elem, len(a))
+	for i := range out {
+		out[i] = field.Sub(a[i], b[i])
+	}
+	return out
+}
+
+func (e *Engine) checkSame(a, b *Share) {
+	if a.eng != e || b.eng != e {
+		panic("beaver: share from a different engine")
+	}
+}

@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"sqm/internal/dataset"
+	"sqm/internal/linalg"
+	"sqm/internal/logreg"
+	"sqm/internal/pca"
+)
+
+// pcaCase describes one Figure 2 panel.
+type pcaCase struct {
+	name   string
+	data   func(o Options) *linalg.Matrix
+	ks     []int
+	epss   []float64
+	gammas []float64
+}
+
+func pcaCases(o Options) []pcaCase {
+	if o.Full {
+		return []pcaCase{
+			{
+				name: "KDDCUP",
+				data: func(o Options) *linalg.Matrix { return dataset.KDDCupLike(195666, 117, o.Seed).X },
+				ks:   []int{10, 20}, epss: []float64{0.25, 0.5, 1, 2, 4, 8},
+				gammas: []float64{1 << 6, 1 << 10, 1 << 14},
+			},
+			{
+				name: "ACSIncome",
+				data: func(o Options) *linalg.Matrix {
+					// Scaled from ~100k rows (DESIGN.md substitution 1).
+					d, _ := dataset.ACSIncomeLike("CA", 20000, 1, 800, o.Seed)
+					return d.X
+				},
+				ks: []int{10, 20}, epss: []float64{0.25, 0.5, 1, 2, 4, 8},
+				gammas: []float64{1 << 6, 1 << 10, 1 << 14},
+			},
+			{
+				name: "CiteSeer",
+				data: func(o Options) *linalg.Matrix { return dataset.CiteSeerLike(2110, 3703, o.Seed).X },
+				ks:   []int{10, 20}, epss: []float64{4, 8, 16, 32},
+				gammas: []float64{1 << 8, 1 << 12},
+			},
+			{
+				name: "Gene",
+				data: func(o Options) *linalg.Matrix {
+					// n scaled from 20531 (DESIGN.md substitution 1).
+					return dataset.GeneLike(801, 4096, o.Seed).X
+				},
+				ks: []int{10, 20}, epss: []float64{4, 8, 16, 32},
+				gammas: []float64{1 << 10, 1 << 14},
+			},
+		}
+	}
+	return []pcaCase{
+		{
+			name: "KDDCUP",
+			data: func(o Options) *linalg.Matrix { return dataset.KDDCupLike(8000, 40, o.Seed).X },
+			ks:   []int{3, 6}, epss: []float64{0.25, 1, 4},
+			gammas: []float64{1 << 4, 1 << 8, 1 << 12},
+		},
+		{
+			name: "ACSIncome",
+			data: func(o Options) *linalg.Matrix {
+				d, _ := dataset.ACSIncomeLike("CA", 3000, 1, 100, o.Seed)
+				return d.X
+			},
+			ks: []int{3, 6}, epss: []float64{0.25, 1, 4},
+			gammas: []float64{1 << 4, 1 << 8, 1 << 12},
+		},
+		{
+			name: "CiteSeer",
+			data: func(o Options) *linalg.Matrix { return dataset.CiteSeerLike(600, 300, o.Seed).X },
+			ks:   []int{3, 6}, epss: []float64{4, 16},
+			gammas: []float64{1 << 6, 1 << 10},
+		},
+		{
+			name: "Gene",
+			data: func(o Options) *linalg.Matrix { return dataset.GeneLike(400, 256, o.Seed).X },
+			ks:   []int{3, 6}, epss: []float64{4, 16},
+			gammas: []float64{1 << 8, 1 << 12},
+		},
+	}
+}
+
+// Figure2 reproduces the PCA utility panels: ‖XV̂‖_F² for the exact
+// subspace, the central Analyze-Gauss baseline, the local-DP baseline
+// and SQM under a γ sweep, per dataset, k and ε (δ = 1e−5, averaged
+// over o.Runs).
+func Figure2(o Options) []*Table {
+	o = o.Defaults()
+	const delta = 1e-5
+	var tables []*Table
+	for _, c := range pcaCases(o) {
+		x := c.data(o)
+		header := []string{"k", "eps", "Exact", "Central", "Local"}
+		for _, g := range c.gammas {
+			header = append(header, fmt.Sprintf("SQM(g=%g)", g))
+		}
+		tbl := &Table{
+			ID:     "fig2-" + c.name,
+			Title:  fmt.Sprintf("PCA utility ||X·V||_F^2 on %s-like (m=%d, n=%d, %d runs)", c.name, x.Rows, x.Cols, o.Runs),
+			Header: header,
+		}
+		for _, k := range c.ks {
+			exact, err := pca.Exact(x, pca.Config{K: k, C: 1, Seed: o.Seed})
+			if err != nil {
+				tbl.Notes = append(tbl.Notes, "exact failed: "+err.Error())
+				continue
+			}
+			for _, eps := range c.epss {
+				row := []string{fmt.Sprint(k), fe(eps), f3(exact.Utility)}
+				row = append(row, f3(avgUtility(o, func(seed uint64) (float64, error) {
+					r, err := pca.Central(x, pca.Config{K: k, C: 1, Eps: eps, Delta: delta, Seed: seed})
+					if err != nil {
+						return 0, err
+					}
+					return r.Utility, nil
+				})))
+				row = append(row, f3(avgUtility(o, func(seed uint64) (float64, error) {
+					r, err := pca.Local(x, pca.Config{K: k, C: 1, Eps: eps, Delta: delta, Seed: seed})
+					if err != nil {
+						return 0, err
+					}
+					return r.Utility, nil
+				})))
+				for _, gamma := range c.gammas {
+					gamma := gamma
+					row = append(row, f3(avgUtility(o, func(seed uint64) (float64, error) {
+						r, err := pca.SQM(x, pca.Config{K: k, C: 1, Eps: eps, Delta: delta, Gamma: gamma, Seed: seed})
+						if err != nil {
+							return 0, err
+						}
+						return r.Utility, nil
+					})))
+				}
+				tbl.Rows = append(tbl.Rows, row)
+			}
+		}
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
+func avgUtility(o Options, run func(seed uint64) (float64, error)) float64 {
+	var sum float64
+	n := 0
+	for i := 0; i < o.Runs; i++ {
+		v, err := run(o.Seed + uint64(1000*i) + 17)
+		if err != nil {
+			return math.NaN()
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// lrShape returns the Figure 3/5 training shape.
+func lrShape(o Options) (mTrain, mTest, d int, q float64) {
+	if o.Full {
+		return 10000, 3000, 800, 0.001
+	}
+	if o.TinyLR {
+		return 300, 150, 12, 0.05
+	}
+	return 2000, 1000, 60, 0.01
+}
+
+// epochsFor maps ε to the paper's epoch budget {0.5,1,2,4,8} →
+// {2,5,8,10,10}.
+func epochsFor(eps float64) int {
+	switch {
+	case eps <= 0.5:
+		return 2
+	case eps <= 1:
+		return 5
+	case eps <= 2:
+		return 8
+	default:
+		return 10
+	}
+}
+
+// Figure3 reproduces the LR accuracy curves: test accuracy vs ε for the
+// four ACSIncome-like states, comparing SQM at two γ values against
+// centralized DPSGD, the local-DP baseline, and the non-private
+// reference.
+func Figure3(o Options) *Table {
+	o = o.Defaults()
+	const delta = 1e-5
+	mTrain, mTest, d, q := lrShape(o)
+	epss := []float64{0.5, 1, 2, 4, 8}
+	gammas := []float64{1 << 10, 1 << 13}
+	header := []string{"state", "eps", "NonPriv", "DPSGD", "Local"}
+	for _, g := range gammas {
+		header = append(header, fmt.Sprintf("SQM(g=%g)", g))
+	}
+	tbl := &Table{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("LR test accuracy on ACSIncome-like states (m=%d, d=%d, q=%g, %d runs)", mTrain, d, q, o.Runs),
+		Header: header,
+	}
+	for _, state := range dataset.ACSStates() {
+		ds, err := dataset.ACSIncomeLike(state, mTrain, mTest, d, o.Seed)
+		if err != nil {
+			tbl.Notes = append(tbl.Notes, err.Error())
+			continue
+		}
+		nonpriv := logreg.Accuracy(logreg.TrainNonPrivate(ds.X, ds.Labels, o.Seed), ds.TestX, ds.TestLabels)
+		for _, eps := range epss {
+			cfg := logreg.Config{Eps: eps, Delta: delta, Epochs: epochsFor(eps), SampleRate: q}
+			row := []string{state, fe(eps), f3(nonpriv)}
+			row = append(row, f3(avgUtility(o, func(seed uint64) (float64, error) {
+				c := cfg
+				c.Seed = seed
+				m, err := logreg.TrainDPSGD(ds.X, ds.Labels, c)
+				if err != nil {
+					return 0, err
+				}
+				return logreg.Accuracy(m, ds.TestX, ds.TestLabels), nil
+			})))
+			row = append(row, f3(avgUtility(o, func(seed uint64) (float64, error) {
+				c := cfg
+				c.Seed = seed
+				m, err := logreg.TrainLocal(ds.X, ds.Labels, c)
+				if err != nil {
+					return 0, err
+				}
+				return logreg.Accuracy(m, ds.TestX, ds.TestLabels), nil
+			})))
+			for _, gamma := range gammas {
+				gamma := gamma
+				row = append(row, f3(avgUtility(o, func(seed uint64) (float64, error) {
+					c := cfg
+					c.Seed = seed
+					c.Gamma = gamma
+					m, err := logreg.TrainSQM(ds.X, ds.Labels, c)
+					if err != nil {
+						return 0, err
+					}
+					return logreg.Accuracy(m, ds.TestX, ds.TestLabels), nil
+				})))
+			}
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	}
+	return tbl
+}
+
+// Figure4 reproduces the γ-sweep of the LR sensitivity overhead and the
+// normalized SQM noise std against the centralized Gaussian σ (d=800,
+// ε=1, δ=1e−5, q=0.001, 5 epochs).
+func Figure4(o Options) *Table {
+	o = o.Defaults()
+	const d = 800
+	cfg := logreg.Config{Eps: 1, Delta: 1e-5, Epochs: 5, SampleRate: 0.001}
+	tbl := &Table{
+		ID:     "fig4",
+		Title:  "LR sensitivity overhead and noise overhead vs gamma (d=800, eps=1)",
+		Header: []string{"gamma", "L2 overhead", "SQM noise std", "Gaussian std", "noise overhead"},
+	}
+	central, err := logreg.CentralNoiseStd(cfg)
+	if err != nil {
+		tbl.Notes = append(tbl.Notes, err.Error())
+		return tbl
+	}
+	for _, gamma := range []float64{64, 256, 1024, 4096, 16384, 65536} {
+		c := cfg
+		c.Gamma = gamma
+		mu, err := logreg.CalibrateMu(c, d)
+		if err != nil {
+			tbl.Notes = append(tbl.Notes, err.Error())
+			continue
+		}
+		std := logreg.NoiseStdUnscaled(mu, gamma)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%g", gamma),
+			fe(logreg.SensitivityOverhead(gamma, d)),
+			fe(std),
+			fe(central),
+			fe(std - central),
+		})
+	}
+	tbl.Notes = append(tbl.Notes, "both overhead columns must decay toward 0 as gamma grows (log-scale y in the paper)")
+	return tbl
+}
+
+// Figure5 reproduces the centralized-vs-Approx-Poly comparison: the
+// polynomial approximation of the sigmoid costs < 0.05 accuracy.
+func Figure5(o Options) *Table {
+	o = o.Defaults()
+	const delta = 1e-5
+	mTrain, mTest, d, q := lrShape(o)
+	tbl := &Table{
+		ID:     "fig5",
+		Title:  fmt.Sprintf("Centralized DPSGD vs Approx-Poly (ACSIncome-like CA, m=%d, d=%d, %d runs)", mTrain, d, o.Runs),
+		Header: []string{"eps", "Centralized", "Approx-Poly", "gap"},
+	}
+	ds, err := dataset.ACSIncomeLike("CA", mTrain, mTest, d, o.Seed)
+	if err != nil {
+		tbl.Notes = append(tbl.Notes, err.Error())
+		return tbl
+	}
+	for _, eps := range []float64{0.5, 1, 2, 4, 8} {
+		cfg := logreg.Config{Eps: eps, Delta: delta, Epochs: epochsFor(eps), SampleRate: q}
+		central := avgUtility(o, func(seed uint64) (float64, error) {
+			c := cfg
+			c.Seed = seed
+			m, err := logreg.TrainDPSGD(ds.X, ds.Labels, c)
+			if err != nil {
+				return 0, err
+			}
+			return logreg.Accuracy(m, ds.TestX, ds.TestLabels), nil
+		})
+		approx := avgUtility(o, func(seed uint64) (float64, error) {
+			c := cfg
+			c.Seed = seed
+			m, err := logreg.TrainApproxPoly(ds.X, ds.Labels, c)
+			if err != nil {
+				return 0, err
+			}
+			return logreg.Accuracy(m, ds.TestX, ds.TestLabels), nil
+		})
+		tbl.Rows = append(tbl.Rows, []string{fe(eps), f3(central), f3(approx), f3(math.Abs(central - approx))})
+	}
+	tbl.Notes = append(tbl.Notes, "the paper reports the gap constantly below 0.05")
+	return tbl
+}

@@ -1,0 +1,288 @@
+// Package bgw implements the BGW protocol (Ben-Or, Goldwasser, Wigderson
+// 1988) for semi-honest parties over the field of package field, as used
+// by SQM (§II and Appendix B of the paper):
+//
+//  1. each party secret-shares its private inputs with Shamir's scheme,
+//  2. addition and scaling are local; each multiplication takes the
+//     pointwise product of shares (a degree-2t sharing) followed by a
+//     degree-reduction resharing round,
+//  3. outputs are opened by exchanging shares and interpolating at 0.
+//
+// The engine simulates all P parties in one process. It faithfully
+// performs the share arithmetic (so outputs are bit-exact with the
+// plaintext computation) and meters the communication: every resharing
+// or opening advances a round counter, and simulated network time is
+// rounds × Latency, matching the paper's experimental setup of a fixed
+// 0.1 s message-passing cost.
+package bgw
+
+import (
+	"fmt"
+	"time"
+
+	"sqm/internal/field"
+	"sqm/internal/randx"
+	"sqm/internal/shamir"
+)
+
+// DefaultLatency is the per-round message-passing cost used by the
+// paper's simulation (§VI).
+const DefaultLatency = 100 * time.Millisecond
+
+// Config describes a BGW deployment.
+type Config struct {
+	Parties   int           // P >= 2*Threshold + 1
+	Threshold int           // t; 0 means floor((P-1)/2)
+	Latency   time.Duration // per communication round; 0 means DefaultLatency
+	Seed      uint64        // seeds the per-party private randomness
+}
+
+// Stats meters the protocol execution.
+type Stats struct {
+	Rounds   int64 // communication rounds
+	Messages int64 // point-to-point messages
+	Bytes    int64 // payload bytes (8 per field element per message)
+	FieldOps int64 // local field multiplications (cost-model input)
+}
+
+// NetTime returns the simulated network time for the metered rounds at
+// the given per-round latency.
+func (s Stats) NetTime(latency time.Duration) time.Duration {
+	return time.Duration(s.Rounds) * latency
+}
+
+// Engine simulates the P parties of one BGW execution.
+type Engine struct {
+	p, t    int
+	latency time.Duration
+	rngs    []*randx.RNG // party i's private randomness
+	weights []field.Elem // Lagrange weights at 0 for points 1..P
+	stats   Stats
+}
+
+// NewEngine validates the configuration and prepares an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Parties < 3 {
+		return nil, fmt.Errorf("bgw: need at least 3 parties, got %d", cfg.Parties)
+	}
+	t := cfg.Threshold
+	if t == 0 {
+		t = (cfg.Parties - 1) / 2
+	}
+	if t < 1 || cfg.Parties < 2*t+1 {
+		return nil, fmt.Errorf("bgw: threshold %d invalid for %d parties (need P >= 2t+1, t >= 1)", t, cfg.Parties)
+	}
+	lat := cfg.Latency
+	if lat == 0 {
+		lat = DefaultLatency
+	}
+	e := &Engine{p: cfg.Parties, t: t, latency: lat}
+	root := randx.New(cfg.Seed)
+	for i := 0; i < cfg.Parties; i++ {
+		e.rngs = append(e.rngs, root.Fork())
+	}
+	e.weights = shamir.LagrangeAtZero(shamir.PartyPoints(cfg.Parties))
+	return e, nil
+}
+
+// Parties returns P.
+func (e *Engine) Parties() int { return e.p }
+
+// Threshold returns t.
+func (e *Engine) Threshold() int { return e.t }
+
+// Latency returns the per-round latency.
+func (e *Engine) Latency() time.Duration { return e.latency }
+
+// Stats returns a snapshot of the execution counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters (between experiment phases).
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// AdvanceRound accounts one communication round. Structured protocols
+// batch all independent messages of a phase into a single round.
+func (e *Engine) AdvanceRound() { e.stats.Rounds++ }
+
+// Shared is a single secret-shared value; shares[i] is held by party i.
+type Shared struct {
+	eng    *Engine
+	shares []field.Elem
+}
+
+// Input has party owner secret-share the signed value v. The messages
+// (one share to each other party) are metered; callers batch all inputs
+// of a phase into one round via AdvanceRound.
+func (e *Engine) Input(owner int, v int64) *Shared {
+	e.checkParty(owner)
+	sh := shamir.Share(field.FromInt64(v), e.t, e.p, e.rngs[owner])
+	e.stats.Messages += int64(e.p - 1)
+	e.stats.Bytes += 8 * int64(e.p-1)
+	e.stats.FieldOps += int64(e.p * (e.t + 1))
+	return &Shared{eng: e, shares: sh}
+}
+
+// InputElem has party owner secret-share a raw field element. Used by
+// preprocessing protocols (e.g. Beaver-triple generation) whose values
+// are uniform field elements rather than signed integers.
+func (e *Engine) InputElem(owner int, v field.Elem) *Shared {
+	e.checkParty(owner)
+	sh := shamir.Share(v, e.t, e.p, e.rngs[owner])
+	e.stats.Messages += int64(e.p - 1)
+	e.stats.Bytes += 8 * int64(e.p-1)
+	e.stats.FieldOps += int64(e.p * (e.t + 1))
+	return &Shared{eng: e, shares: sh}
+}
+
+// OpenElem reveals the raw field element (no signed decoding).
+func (e *Engine) OpenElem(s *Shared) field.Elem {
+	if s.eng != e {
+		panic("bgw: foreign share")
+	}
+	e.stats.Messages += int64(e.p * (e.p - 1))
+	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
+	e.stats.FieldOps += int64(e.p)
+	return shamir.ReconstructWithWeights(e.weights, s.shares)
+}
+
+// AdditiveShares converts the Shamir sharing to an additive sharing
+// locally: with Lagrange weights λ, party i's addend is λ_i·s_i and
+// Σ_i λ_i·s_i equals the secret. No communication.
+func (s *Shared) AdditiveShares(weights []field.Elem) []field.Elem {
+	if len(weights) != len(s.shares) {
+		panic("bgw: AdditiveShares weight count mismatch")
+	}
+	out := make([]field.Elem, len(s.shares))
+	for i, sh := range s.shares {
+		out[i] = field.Mul(weights[i], sh)
+	}
+	return out
+}
+
+// Zero returns a trivial sharing of 0 (all shares zero); no
+// communication.
+func (e *Engine) Zero() *Shared {
+	return &Shared{eng: e, shares: make([]field.Elem, e.p)}
+}
+
+// Add returns a sharing of a + b; purely local.
+func (e *Engine) Add(a, b *Shared) *Shared {
+	e.checkSame(a, b)
+	out := make([]field.Elem, e.p)
+	for i := range out {
+		out[i] = field.Add(a.shares[i], b.shares[i])
+	}
+	return &Shared{eng: e, shares: out}
+}
+
+// Sub returns a sharing of a − b; purely local.
+func (e *Engine) Sub(a, b *Shared) *Shared {
+	e.checkSame(a, b)
+	out := make([]field.Elem, e.p)
+	for i := range out {
+		out[i] = field.Sub(a.shares[i], b.shares[i])
+	}
+	return &Shared{eng: e, shares: out}
+}
+
+// AddConst returns a sharing of a + c; purely local (the constant
+// polynomial c added to every share).
+func (e *Engine) AddConst(a *Shared, c int64) *Shared {
+	ce := field.FromInt64(c)
+	out := make([]field.Elem, e.p)
+	for i := range out {
+		out[i] = field.Add(a.shares[i], ce)
+	}
+	return &Shared{eng: e, shares: out}
+}
+
+// MulConst returns a sharing of c·a; purely local.
+func (e *Engine) MulConst(a *Shared, c int64) *Shared {
+	ce := field.FromInt64(c)
+	out := make([]field.Elem, e.p)
+	for i := range out {
+		out[i] = field.Mul(a.shares[i], ce)
+	}
+	e.stats.FieldOps += int64(e.p)
+	return &Shared{eng: e, shares: out}
+}
+
+// Mul returns a sharing of a·b using the degree-reduction resharing of
+// BGW. It meters P(P−1) messages; batch independent multiplications
+// into one round with AdvanceRound.
+func (e *Engine) Mul(a, b *Shared) *Shared {
+	e.checkSame(a, b)
+	prods := make([]field.Elem, e.p)
+	for i := range prods {
+		prods[i] = field.Mul(a.shares[i], b.shares[i])
+	}
+	e.stats.FieldOps += int64(e.p)
+	return e.reshare(prods)
+}
+
+// reshare converts a degree-2t sharing (the per-party values in high)
+// back to a fresh degree-t sharing of the same secret: each party i
+// re-shares its value high[i] and the parties linearly combine the
+// sub-shares with the Lagrange weights.
+func (e *Engine) reshare(high []field.Elem) *Shared {
+	out := make([]field.Elem, e.p)
+	for i := 0; i < e.p; i++ {
+		sub := shamir.Share(high[i], e.t, e.p, e.rngs[i])
+		wi := e.weights[i]
+		for j := 0; j < e.p; j++ {
+			out[j] = field.Add(out[j], field.Mul(wi, sub[j]))
+		}
+	}
+	e.stats.Messages += int64(e.p * (e.p - 1))
+	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
+	e.stats.FieldOps += int64(e.p * (e.p + e.t + 1))
+	return &Shared{eng: e, shares: out}
+}
+
+// InnerProduct returns a sharing of Σ_k a[k]·b[k] using the fused gate:
+// each party sums its local share products and a single resharing
+// restores degree t. This is the optimization that makes Gram matrices
+// and gradient sums communication-cheap (one resharing per output
+// instead of per product).
+func (e *Engine) InnerProduct(as, bs []*Shared) *Shared {
+	if len(as) != len(bs) {
+		panic("bgw: InnerProduct length mismatch")
+	}
+	acc := make([]field.Elem, e.p)
+	for k := range as {
+		e.checkSame(as[k], bs[k])
+		for i := 0; i < e.p; i++ {
+			acc[i] = field.Add(acc[i], field.Mul(as[k].shares[i], bs[k].shares[i]))
+		}
+	}
+	e.stats.FieldOps += int64(e.p * len(as))
+	return e.reshare(acc)
+}
+
+// Open reveals the secret to all parties (shares exchanged pairwise)
+// and returns its signed decoding. Batch independent openings into one
+// round with AdvanceRound.
+func (e *Engine) Open(s *Shared) int64 {
+	if s.eng != e {
+		panic("bgw: foreign share")
+	}
+	e.stats.Messages += int64(e.p * (e.p - 1))
+	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
+	e.stats.FieldOps += int64(e.p)
+	return field.ToInt64(shamir.ReconstructWithWeights(e.weights, s.shares))
+}
+
+func (e *Engine) checkParty(i int) {
+	if i < 0 || i >= e.p {
+		panic(fmt.Sprintf("bgw: party %d out of range [0,%d)", i, e.p))
+	}
+}
+
+func (e *Engine) checkSame(a, b *Shared) {
+	if a.eng != e || b.eng != e {
+		panic("bgw: share from a different engine")
+	}
+	if len(a.shares) != e.p || len(b.shares) != e.p {
+		panic("bgw: malformed share vector")
+	}
+}

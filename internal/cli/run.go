@@ -1,0 +1,129 @@
+// Package cli implements the sqmrun command logic — applying the SQM
+// mechanisms to user-supplied CSV files — behind a testable interface;
+// cmd/sqmrun is a thin wrapper around Run.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sqm/internal/core"
+	"sqm/internal/csvio"
+	"sqm/internal/linreg"
+	"sqm/internal/logreg"
+	"sqm/internal/pca"
+)
+
+// Commands lists the supported subcommands.
+func Commands() []string { return []string{"pca", "covariance", "lr", "ridge"} }
+
+// Run executes one sqmrun subcommand. Results go to stdout (or -out);
+// diagnostics to stderr.
+func Run(cmd string, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		data   = fs.String("data", "", "input CSV file (required)")
+		header = fs.Bool("header", false, "first CSV row is a header")
+		label  = fs.String("label", "", "label column name/index (lr, ridge)")
+		out    = fs.String("out", "", "output CSV file (default stdout)")
+		eps    = fs.Float64("eps", 1, "privacy budget epsilon")
+		delta  = fs.Float64("delta", 1e-5, "privacy parameter delta")
+		gamma  = fs.Float64("gamma", 4096, "SQM scaling parameter")
+		k      = fs.Int("k", 5, "principal components (pca)")
+		epochs = fs.Int("epochs", 5, "training epochs (lr)")
+		q      = fs.Float64("q", 0.01, "Poisson sampling rate (lr)")
+		seed   = fs.Uint64("seed", 1, "reproducibility seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	if (cmd == "lr" || cmd == "ridge") && *label == "" {
+		return fmt.Errorf("%s needs -label", cmd)
+	}
+	loaded, err := csvio.Load(*data, csvio.Options{HasHeader: *header, LabelColumn: *label})
+	if err != nil {
+		return err
+	}
+	if clipped := csvio.NormalizeRows(loaded.X, 1); clipped > 0 {
+		fmt.Fprintf(stderr, "sqmrun: clipped %d/%d rows to unit norm (DP requires the bound)\n",
+			clipped, loaded.X.Rows)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch cmd {
+	case "pca":
+		r, err := pca.SQM(loaded.X, pca.Config{
+			K: *k, Eps: *eps, Delta: *delta, C: 1, Gamma: *gamma, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sqmrun: captured variance ||XV||_F^2 = %.4f at (eps=%g, delta=%g)\n",
+			r.Utility, *eps, *delta)
+		return csvio.Write(w, r.Subspace, nil)
+	case "covariance":
+		mu, err := pca.CalibrateMu(*eps, *delta, *gamma, 1, loaded.X.Cols)
+		if err != nil {
+			return err
+		}
+		cov, _, err := core.Covariance(loaded.X, core.Params{Gamma: *gamma, Mu: mu, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		return csvio.Write(w, cov, loaded.Header)
+	case "lr":
+		for i, y := range loaded.Labels {
+			if y != 0 && y != 1 {
+				return fmt.Errorf("lr needs 0/1 labels; row %d has %v", i+1, y)
+			}
+		}
+		m, err := logreg.TrainSQM(loaded.X, loaded.Labels, logreg.Config{
+			Eps: *eps, Delta: *delta, Gamma: *gamma,
+			Epochs: *epochs, SampleRate: *q, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sqmrun: training accuracy %.4f at (eps=%g, delta=%g)\n",
+			logreg.Accuracy(m, loaded.X, loaded.Labels), *eps, *delta)
+		return csvio.WriteVector(w, m.W, "weight")
+	case "ridge":
+		clippedY := 0
+		for i, y := range loaded.Labels {
+			if y > 1 {
+				loaded.Labels[i], clippedY = 1, clippedY+1
+			} else if y < -1 {
+				loaded.Labels[i], clippedY = -1, clippedY+1
+			}
+		}
+		if clippedY > 0 {
+			fmt.Fprintf(stderr, "sqmrun: clipped %d labels to [-1, 1]\n", clippedY)
+		}
+		m, err := linreg.SQM(loaded.X, loaded.Labels, linreg.Config{
+			Eps: *eps, Delta: *delta, C: 1, B: 1, Gamma: *gamma, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sqmrun: training R^2 = %.4f at (eps=%g, delta=%g)\n",
+			linreg.R2(m, loaded.X, loaded.Labels), *eps, *delta)
+		return csvio.WriteVector(w, m.W, "weight")
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

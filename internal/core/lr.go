@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sqm/internal/bgw"
+	"sqm/internal/linalg"
+	"sqm/internal/quant"
+	"sqm/internal/randx"
+)
+
+// LRProtocol holds the per-training-run state of the logistic-regression
+// instantiation (§V-B). The clients quantize and (for the BGW engine)
+// secret-share their feature columns and the label column once; each
+// SGD round then evaluates the degree-2 polynomial gradient of Eq. (9)
+//
+//	f(w, (x, y)) = ½·x + ⟨w/4, x⟩·x − y·x
+//
+// on a shared-randomness batch with fresh Skellam noise. Because the
+// weight vector is public, folding it in is a local linear combination;
+// only one fused inner product per output coordinate needs a resharing.
+type LRProtocol struct {
+	p        Params
+	m, d     int
+	gammaInt int64 // γ as an exact integer (the coefficient of −y·x after pre-processing)
+
+	pub        *randx.RNG
+	clientRNGs []*randx.RNG
+
+	// Plain engine state.
+	feat *quant.IntMatrix // m × d quantized features
+	lab  []int64          // γ·y (exact for y ∈ {0,1})
+
+	// BGW engine state.
+	eng        *bgw.Engine
+	featShares []*bgw.SharedVec
+	labShares  *bgw.SharedVec
+	setupStats bgw.Stats
+}
+
+// NewLRProtocol quantizes and (for EngineBGW) shares the training data.
+// Labels must be 0/1; features are the first d columns and the label is
+// the (d+1)-th column of the vertical partition, so p.NumClients
+// defaults to d+1 as in the paper's experiments.
+func NewLRProtocol(features *linalg.Matrix, labels []float64, p Params) (*LRProtocol, error) {
+	if features.Rows != len(labels) {
+		return nil, fmt.Errorf("core: %d rows but %d labels", features.Rows, len(labels))
+	}
+	if err := p.normalize(features.Cols + 1); err != nil {
+		return nil, err
+	}
+	if p.Gamma != math.Trunc(p.Gamma) {
+		return nil, fmt.Errorf("core: LR protocol requires an integer gamma, got %v", p.Gamma)
+	}
+	lr := &LRProtocol{p: p, m: features.Rows, d: features.Cols, gammaInt: int64(p.Gamma)}
+	lr.pub, lr.clientRNGs = rngFamily(p.Seed, p.NumClients)
+	lr.feat = quantizeByClient(features, p, lr.clientRNGs)
+
+	labelClient := p.clientOf(features.Cols, features.Cols+1)
+	g := lr.clientRNGs[labelClient]
+	lr.lab = make([]int64, lr.m)
+	for i, y := range labels {
+		if y != 0 && y != 1 {
+			return nil, fmt.Errorf("core: label %v is not 0/1", y)
+		}
+		lr.lab[i] = g.StochasticRound(p.Gamma * y) // exact: γ·y is integral
+	}
+
+	if p.Engine == EngineBGW {
+		eng, err := bgw.NewEngine(bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ 0x17a3})
+		if err != nil {
+			return nil, err
+		}
+		lr.eng = eng
+		lr.featShares = make([]*bgw.SharedVec, lr.d)
+		for j := 0; j < lr.d; j++ {
+			lr.featShares[j] = eng.InputVec(p.partyOf(p.clientOf(j, lr.d+1)), lr.feat.Col(j))
+		}
+		lr.labShares = eng.InputVec(p.partyOf(labelClient), lr.lab)
+		eng.AdvanceRound() // data input round (once per training run)
+		lr.setupStats = eng.Stats()
+	}
+	return lr, nil
+}
+
+// NumRecords returns m.
+func (lr *LRProtocol) NumRecords() int { return lr.m }
+
+// SampleBatch draws the shared-randomness Poisson batch of one round
+// (its membership is known to the clients but not the server).
+func (lr *LRProtocol) SampleBatch(q float64) []int {
+	return lr.pub.BernoulliSubset(lr.m, q)
+}
+
+// GradientSum evaluates Σ_{i∈batch} f(w, (x_i, y_i)) + Sk(μ) per
+// coordinate and returns the server's down-scaled estimate (divide by
+// γ³, the γ^{λ+1} of the degree-2 polynomial).
+func (lr *LRProtocol) GradientSum(w []float64, batch []int) ([]float64, *Trace, error) {
+	if len(w) != lr.d {
+		return nil, nil, fmt.Errorf("core: weight dim %d != %d", len(w), lr.d)
+	}
+	start := time.Now()
+	p := lr.p
+	// Coefficient pre-processing (public): ŵ_j = round(γ·w_j/4) for the
+	// degree-2 monomials, qHalf = round(γ²·½) for the degree-1 term.
+	wq := make([]int64, lr.d)
+	for j, wj := range w {
+		wq[j] = lr.pub.StochasticRound(p.Gamma * wj / 4)
+	}
+	qHalf := lr.pub.StochasticRound(p.Gamma * p.Gamma / 2)
+
+	noiseStart := time.Now()
+	noise := sampleNoiseShares(lr.clientRNGs, lr.d, p.Mu)
+	noiseSample := time.Since(noiseStart)
+
+	if err := lr.checkBound(wq, qHalf, len(batch)); err != nil {
+		return nil, nil, err
+	}
+
+	tr := &Trace{Scale: math.Pow(p.Gamma, 3), Lat: p.Latency}
+	var scaled []int64
+	var err error
+	switch p.Engine {
+	case EnginePlain:
+		scaled = lr.plainGradient(wq, qHalf, batch, noise, tr)
+	case EngineBGW:
+		scaled = lr.bgwGradient(wq, qHalf, batch, noise, tr)
+	default:
+		err = errUnknownEngine(p.Engine)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.Scaled = scaled
+	tr.NoiseCompute += noiseSample
+	tr.Compute = time.Since(start)
+	est := make([]float64, lr.d)
+	for t, v := range scaled {
+		est[t] = float64(v) / tr.Scale
+	}
+	return est, tr, nil
+}
+
+// checkBound statically verifies that the scaled gradient sum plus the
+// noise tail fits the signed field range.
+func (lr *LRProtocol) checkBound(wq []int64, qHalf int64, batch int) error {
+	maxFeat := float64(lr.feat.MaxAbs())
+	var wAbs float64
+	for _, v := range wq {
+		wAbs += math.Abs(float64(v))
+	}
+	// |u_i| <= qHalf + Σ|ŵ_j|·maxFeat + γ².
+	u := math.Abs(float64(qHalf)) + wAbs*maxFeat + lr.p.Gamma*lr.p.Gamma
+	bound := maxFeat*u*float64(batch) + noiseMargin(lr.p.Mu)
+	return checkFieldBound(bound)
+}
+
+// plainGradient: grad_t = Σ_{i∈batch} x̂_{it}·(qHalf + Σ_j ŵ_j x̂_{ij} − γ·ŷ_i).
+func (lr *LRProtocol) plainGradient(wq []int64, qHalf int64, batch []int, noise [][]int64, tr *Trace) []int64 {
+	grad := make([]int64, lr.d)
+	for _, i := range batch {
+		row := lr.feat.Row(i)
+		var s int64
+		for j, xj := range row {
+			s += wq[j] * xj
+		}
+		u := qHalf + s - lr.gammaInt*lr.lab[i]
+		for t, xt := range row {
+			grad[t] += xt * u
+		}
+	}
+	noiseStart := time.Now()
+	for _, shares := range noise {
+		for t, z := range shares {
+			grad[t] += z
+		}
+	}
+	tr.NoiseCompute += time.Since(noiseStart)
+	return grad
+}
+
+// bgwGradient runs one SGD round over secret shares: the public weights
+// fold in locally, one fused inner product per coordinate (batched into
+// a single resharing round), noise input round, output round.
+func (lr *LRProtocol) bgwGradient(wq []int64, qHalf int64, batch []int, noise [][]int64, tr *Trace) []int64 {
+	eng := lr.eng
+	before := eng.Stats()
+
+	// u_i = qHalf + Σ_j ŵ_j x̂_{ij} − γ·ŷ_i, local per record.
+	us := make([]*bgw.Shared, len(batch))
+	for bi, i := range batch {
+		acc := eng.Zero()
+		for j := 0; j < lr.d; j++ {
+			if wq[j] == 0 {
+				continue
+			}
+			acc = eng.Add(acc, eng.MulConst(lr.featShares[j].At(i), wq[j]))
+		}
+		acc = eng.Sub(acc, eng.MulConst(lr.labShares.At(i), lr.gammaInt))
+		us[bi] = eng.AddConst(acc, qHalf)
+	}
+
+	// Noise shares enter in their own round and aggregate locally.
+	noiseStart := time.Now()
+	noiseShared := make([]*bgw.Shared, lr.d)
+	for t := 0; t < lr.d; t++ {
+		acc := eng.Zero()
+		for j, shares := range noise {
+			acc = eng.Add(acc, eng.Input(lr.p.partyOf(j), shares[t]))
+		}
+		noiseShared[t] = acc
+	}
+	tr.NoiseCompute += time.Since(noiseStart)
+	tr.NoiseRounds++
+	eng.AdvanceRound() // noise input round
+
+	scaled := make([]int64, lr.d)
+	xs := make([]*bgw.Shared, len(batch))
+	outs := make([]*bgw.Shared, lr.d)
+	for t := 0; t < lr.d; t++ {
+		for bi, i := range batch {
+			xs[bi] = lr.featShares[t].At(i)
+		}
+		outs[t] = eng.Add(eng.InnerProduct(xs, us), noiseShared[t])
+	}
+	eng.AdvanceRound() // fused multiplication round
+	for t, s := range outs {
+		scaled[t] = eng.Open(s)
+	}
+	eng.AdvanceRound() // output round
+
+	after := eng.Stats()
+	tr.Stats = bgw.Stats{
+		Rounds:   after.Rounds - before.Rounds,
+		Messages: after.Messages - before.Messages,
+		FieldOps: after.FieldOps - before.FieldOps,
+	}
+	return scaled
+}
+
+// SetupStats returns the protocol counters of the one-time data-sharing
+// phase (EngineBGW only; zero otherwise).
+func (lr *LRProtocol) SetupStats() bgw.Stats { return lr.setupStats }

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sqm/internal/bgw"
+	"sqm/internal/linalg"
+	"sqm/internal/poly"
+	"sqm/internal/quant"
+	"sqm/internal/randx"
+)
+
+// EvaluatePolynomialSum runs Algorithm 3: it estimates
+// Σ_{x∈X} f(x) for a d-dimensional polynomial f over the vertically
+// partitioned rows of X, under distributed DP with aggregate Skellam
+// parameter p.Mu. The returned Trace carries the raw scaled output and
+// the protocol cost counters.
+func EvaluatePolynomialSum(f *poly.Multi, x *linalg.Matrix, p Params) ([]float64, *Trace, error) {
+	if f.NumVars() != x.Cols {
+		return nil, nil, fmt.Errorf("core: polynomial has %d vars but data has %d columns", f.NumVars(), x.Cols)
+	}
+	if err := p.normalize(x.Cols); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	pub, clientRNGs := rngFamily(p.Seed, p.NumClients)
+
+	q, err := f.Quantize(p.Gamma, pub)
+	if err != nil {
+		return nil, nil, err
+	}
+	qd := quantizeByClient(x, p, clientRNGs)
+
+	noiseStart := time.Now()
+	noise := sampleNoiseShares(clientRNGs, f.OutDim(), p.Mu)
+	noiseSample := time.Since(noiseStart)
+
+	tr := &Trace{Scale: q.Scale(), Lat: p.Latency}
+	var scaled []int64
+	switch p.Engine {
+	case EnginePlain:
+		scaled, err = plainPolySum(q, qd, noise, tr)
+	case EngineBGW:
+		scaled, err = bgwPolySum(q, qd, noise, &p, tr)
+	default:
+		err = fmt.Errorf("core: unknown engine %d", p.Engine)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.Scaled = scaled
+	tr.NoiseCompute += noiseSample
+	tr.Compute = time.Since(start)
+
+	est := make([]float64, len(scaled))
+	for t, v := range scaled {
+		est[t] = float64(v) / tr.Scale
+	}
+	return est, tr, nil
+}
+
+// EvaluateMonomialSum runs Algorithm 1 for a single one-dimensional
+// monomial (whose coefficient the server applies in post-processing, as
+// the paper assumes coefficient 1 inside the protocol). The quantized
+// aggregate is down-scaled by γ^λ.
+func EvaluateMonomialSum(m poly.Monomial, x *linalg.Matrix, p Params) (float64, *Trace, error) {
+	if len(m.Exps) != x.Cols {
+		return 0, nil, fmt.Errorf("core: monomial has %d vars but data has %d columns", len(m.Exps), x.Cols)
+	}
+	lambda := m.Degree()
+	if lambda < 1 {
+		return 0, nil, fmt.Errorf("core: Algorithm 1 needs degree >= 1, got %d", lambda)
+	}
+	if err := p.normalize(x.Cols); err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	_, clientRNGs := rngFamily(p.Seed, p.NumClients)
+	qd := quantizeByClient(x, p, clientRNGs)
+
+	noiseStart := time.Now()
+	noise := sampleNoiseShares(clientRNGs, 1, p.Mu)
+	noiseSample := time.Since(noiseStart)
+
+	// Evaluate with unit coefficient: reuse the quantized-poly machinery
+	// with an identity coefficient (degree gap zero ⇒ scale γ^λ, not
+	// γ^{λ+1}).
+	unit := poly.MustMulti(poly.MustPolynomial(x.Cols, poly.Monomial{Coef: 1, Exps: m.Exps}))
+	q := &poly.Quantized{Source: unit, Gamma: 1, Lambda: 0, Coefs: [][]int64{{1}}}
+
+	tr := &Trace{Scale: math.Pow(p.Gamma, float64(lambda)), Lat: p.Latency}
+	var scaled []int64
+	var err error
+	switch p.Engine {
+	case EnginePlain:
+		scaled, err = plainPolySum(q, qd, noise, tr)
+	case EngineBGW:
+		scaled, err = bgwPolySum(q, qd, noise, &p, tr)
+	default:
+		err = fmt.Errorf("core: unknown engine %d", p.Engine)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	tr.Scaled = scaled
+	tr.NoiseCompute += noiseSample
+	tr.Compute = time.Since(start)
+	return m.Coef * float64(scaled[0]) / tr.Scale, tr, nil
+}
+
+// quantizeByClient runs Algorithm 2 on every column using the owning
+// client's private randomness.
+func quantizeByClient(x *linalg.Matrix, p Params, clientRNGs []*randx.RNG) *quant.IntMatrix {
+	out := quant.NewIntMatrix(x.Rows, x.Cols)
+	for j := 0; j < x.Cols; j++ {
+		g := clientRNGs[p.clientOf(j, x.Cols)]
+		for i := 0; i < x.Rows; i++ {
+			out.Set(i, j, g.StochasticRound(p.Gamma*x.At(i, j)))
+		}
+	}
+	return out
+}
+
+// plainPolySum evaluates the quantized polynomial sum directly and adds
+// the aggregated noise. Output-identical to the BGW engine.
+func plainPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, tr *Trace) ([]int64, error) {
+	sum, err := q.EvalIntSum(data)
+	if err != nil {
+		return nil, err
+	}
+	noiseStart := time.Now()
+	for _, shares := range noise {
+		for t, z := range shares {
+			sum[t] += z
+		}
+	}
+	tr.NoiseCompute += time.Since(noiseStart)
+	return sum, nil
+}
+
+// bgwPolySum evaluates the quantized polynomial over secret shares. All
+// columns are shared in one input round; each multiplication layer and
+// the final opening are single rounds of batched messages.
+func bgwPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Params, tr *Trace) ([]int64, error) {
+	if err := checkPolyBound(q, data, p.Mu); err != nil {
+		return nil, err
+	}
+	eng, err := bgw.NewEngine(bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ 0xb6d5})
+	if err != nil {
+		return nil, err
+	}
+	n, m := data.Cols, data.Rows
+	cols := make([]*bgw.SharedVec, n)
+	for j := 0; j < n; j++ {
+		owner := p.partyOf(p.clientOf(j, n))
+		cols[j] = eng.InputVec(owner, data.Col(j))
+	}
+	// Per-client noise shares are inputs of the same round.
+	noiseStart := time.Now()
+	d := q.Source.OutDim()
+	noiseShared := make([]*bgw.Shared, d)
+	for t := 0; t < d; t++ {
+		acc := eng.Zero()
+		for j, shares := range noise {
+			acc = eng.Add(acc, eng.Input(p.partyOf(j), shares[t]))
+		}
+		noiseShared[t] = acc
+	}
+	tr.NoiseCompute += time.Since(noiseStart)
+	tr.NoiseRounds++ // the noise inputs share the input round; attribute one round to DP
+	eng.AdvanceRound()
+
+	// Pre-compute column sums (local) for degree-1 monomials.
+	var colSum []*bgw.Shared
+	lazyColSum := func(j int) *bgw.Shared {
+		if colSum == nil {
+			colSum = make([]*bgw.Shared, n)
+		}
+		if colSum[j] == nil {
+			acc := eng.Zero()
+			for i := 0; i < m; i++ {
+				acc = eng.Add(acc, cols[j].At(i))
+			}
+			colSum[j] = acc
+		}
+		return colSum[j]
+	}
+
+	out := make([]*bgw.Shared, d)
+	mulLayers := 0
+	for t, pol := range q.Source.Dims {
+		acc := eng.Zero()
+		for l, mono := range pol.Monomials {
+			coef := q.Coefs[t][l]
+			switch deg := mono.Degree(); {
+			case deg == 0:
+				acc = eng.AddConst(acc, coef*int64(m))
+			case deg == 1:
+				j := singleVar(mono.Exps)
+				acc = eng.Add(acc, eng.MulConst(lazyColSum(j), coef))
+			case deg == 2:
+				a, b := twoVars(mono.Exps)
+				acc = eng.Add(acc, eng.MulConst(eng.Dot(cols[a], cols[b]), coef))
+				mulLayers = maxInt(mulLayers, 1)
+			default:
+				// General chain: per record, multiply the factors one
+				// resharing at a time.
+				sum := eng.Zero()
+				for i := 0; i < m; i++ {
+					var prod *bgw.Shared
+					for j, e := range mono.Exps {
+						for k := 0; k < e; k++ {
+							if prod == nil {
+								prod = cols[j].At(i)
+							} else {
+								prod = eng.Mul(prod, cols[j].At(i))
+							}
+						}
+					}
+					sum = eng.Add(sum, prod)
+				}
+				acc = eng.Add(acc, eng.MulConst(sum, coef))
+				mulLayers = maxInt(mulLayers, deg-1)
+			}
+		}
+		out[t] = eng.Add(acc, noiseShared[t])
+	}
+	for i := 0; i < mulLayers; i++ {
+		eng.AdvanceRound()
+	}
+	scaled := make([]int64, d)
+	for t, s := range out {
+		scaled[t] = eng.Open(s)
+	}
+	eng.AdvanceRound() // output round
+	tr.Stats = eng.Stats()
+	return scaled, nil
+}
+
+// checkPolyBound statically bounds the aggregate against the field's
+// signed range using the per-record monomial bounds and the noise tail.
+func checkPolyBound(q *poly.Quantized, data *quant.IntMatrix, mu float64) error {
+	maxAbs := float64(data.MaxAbs())
+	var worst float64
+	for t, pol := range q.Source.Dims {
+		var bt float64
+		for l, mono := range pol.Monomials {
+			bt += math.Abs(float64(q.Coefs[t][l])) * math.Pow(maxAbs, float64(mono.Degree()))
+		}
+		if bt > worst {
+			worst = bt
+		}
+	}
+	bound := worst*float64(data.Rows) + noiseMargin(mu)
+	return checkFieldBound(bound)
+}
+
+func singleVar(exps []int) int {
+	for j, e := range exps {
+		if e == 1 {
+			return j
+		}
+	}
+	panic("core: not a degree-1 monomial")
+}
+
+// twoVars returns the (possibly equal) variable pair of a degree-2
+// monomial.
+func twoVars(exps []int) (int, int) {
+	first := -1
+	for j, e := range exps {
+		switch e {
+		case 1:
+			if first < 0 {
+				first = j
+			} else {
+				return first, j
+			}
+		case 2:
+			return j, j
+		}
+	}
+	panic("core: not a degree-2 monomial")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

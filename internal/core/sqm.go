@@ -1,0 +1,181 @@
+// Package core implements the Skellam Quantization Mechanism (SQM), the
+// paper's primary contribution: a distributed-DP protocol for evaluating
+// polynomial aggregates over a vertically partitioned database without
+// any trusted party.
+//
+// The mechanism (Algorithms 1 and 3):
+//
+//  1. every client quantizes its private column with Algorithm 2
+//     (up-scale by γ, stochastic rounding) — package quant;
+//  2. the public polynomial's coefficients are pre-processed so that
+//     every monomial carries the same overall factor γ^{λ+1} — package
+//     poly;
+//  3. every client privately samples a share Sk(μ/n) of the Skellam
+//     noise — package randx;
+//  4. the clients run an MPC protocol to compute the quantized aggregate
+//     plus the aggregated noise — either the real BGW engine (package
+//     bgw) or a plaintext integer engine that is output-identical
+//     because BGW computes exactly;
+//  5. the server down-scales the opened result by γ^{λ+1} (γ^λ for the
+//     coefficient-1 monomials of Algorithm 1).
+//
+// Specialized protocols for the two applications of §V — the covariance
+// matrix for PCA and the Taylor-approximated logistic-regression
+// gradient — live in covariance.go and lr.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sqm/internal/bgw"
+	"sqm/internal/field"
+	"sqm/internal/randx"
+)
+
+// EngineKind selects the evaluation backend.
+type EngineKind int
+
+const (
+	// EnginePlain evaluates the quantized integers directly. Because
+	// BGW computes exactly, the output distribution is identical to
+	// EngineBGW; this is the fast path for utility experiments.
+	EnginePlain EngineKind = iota
+	// EngineBGW runs the real secret-shared protocol and meters
+	// rounds, messages and simulated network time.
+	EngineBGW
+)
+
+// Params configures one SQM invocation.
+type Params struct {
+	Gamma      float64       // scaling parameter γ >= 1 (Algorithm 2)
+	Mu         float64       // aggregate Skellam parameter μ; clients sample Sk(μ/n)
+	NumClients int           // n, the noise-contributing clients; 0 means one per column
+	Engine     EngineKind    // evaluation backend
+	Parties    int           // BGW parties P (EngineBGW); 0 means 4
+	Threshold  int           // BGW threshold t; 0 means floor((P-1)/2)
+	Latency    time.Duration // per-round message latency; 0 means 100 ms
+	Seed       uint64        // reproducibility seed
+}
+
+func (p *Params) normalize(cols int) error {
+	if p.Gamma < 1 {
+		return fmt.Errorf("core: gamma must be >= 1, got %v", p.Gamma)
+	}
+	if p.Mu < 0 {
+		return fmt.Errorf("core: mu must be non-negative, got %v", p.Mu)
+	}
+	if p.NumClients == 0 {
+		p.NumClients = cols
+	}
+	if p.NumClients < 1 {
+		return fmt.Errorf("core: need at least one client, got %d", p.NumClients)
+	}
+	if p.Engine == EngineBGW {
+		if p.Parties == 0 {
+			p.Parties = 4
+		}
+		if p.Parties < 3 {
+			return fmt.Errorf("core: BGW needs at least 3 parties, got %d", p.Parties)
+		}
+	}
+	if p.Latency == 0 {
+		p.Latency = bgw.DefaultLatency
+	}
+	return nil
+}
+
+// clientOf maps column j to its owning client (block partition, as in
+// the paper's experiments where n attributes are evenly split over P
+// clients).
+func (p *Params) clientOf(col, cols int) int {
+	if p.NumClients >= cols {
+		return col
+	}
+	return col * p.NumClients / cols
+}
+
+// partyOf maps a client to the BGW party simulating it.
+func (p *Params) partyOf(client int) int {
+	if p.Engine != EngineBGW {
+		return 0
+	}
+	return client % p.Parties
+}
+
+// Trace reports diagnostics of one SQM invocation: the scaled integer
+// output, the applied down-scaling, and the cost model inputs used by
+// the timing experiments (Tables II, IV, V).
+type Trace struct {
+	Scaled []int64       // ŷ before the server's down-scaling
+	Scale  float64       // the divisor (γ^{λ+1}, or γ^λ for Algorithm 1)
+	Stats  bgw.Stats     // protocol counters (zero for EnginePlain)
+	Lat    time.Duration // per-round latency used for simulated time
+
+	Compute      time.Duration // wall-clock of the full evaluation
+	NoiseCompute time.Duration // wall-clock of noise sampling + aggregation
+	NoiseRounds  int64         // communication rounds attributable to DP
+}
+
+// TotalTime is the modeled end-to-end cost: measured computation plus
+// simulated network latency (rounds × Latency), the paper's timing
+// model.
+func (t *Trace) TotalTime() time.Duration {
+	return t.Compute + time.Duration(t.Stats.Rounds)*t.Lat
+}
+
+// NoiseTime is the part of TotalTime attributable to enforcing DP.
+func (t *Trace) NoiseTime() time.Duration {
+	return t.NoiseCompute + time.Duration(t.NoiseRounds)*t.Lat
+}
+
+// ErrFieldOverflow reports that the statically bounded aggregate cannot
+// be embedded into the BGW field without wrap-around — the caller must
+// lower γ or μ. Detecting this *before* running the protocol is what
+// keeps the implementation aligned with the sensitivity analysis (see
+// "On discretization", §V-C).
+var ErrFieldOverflow = errors.New("core: aggregate bound exceeds the MPC field's signed range")
+
+// noiseMargin bounds |Sk(mu)| with overwhelming probability for the
+// static overflow check: 16 standard deviations plus slack.
+func noiseMargin(mu float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	return 16*math.Sqrt(2*mu) + 64
+}
+
+// checkFieldBound verifies that |bound| fits the signed embedding.
+func checkFieldBound(bound float64) error {
+	if bound >= float64(field.MaxSignedValue) {
+		return ErrFieldOverflow
+	}
+	return nil
+}
+
+// sampleNoiseShares draws the per-client Skellam shares: out[j][t] ~
+// Sk(mu/n) for client j and output dimension t. Each client uses its own
+// private stream.
+func sampleNoiseShares(clientRNGs []*randx.RNG, dims int, mu float64) [][]int64 {
+	n := len(clientRNGs)
+	out := make([][]int64, n)
+	share := mu / float64(n)
+	for j := range out {
+		out[j] = clientRNGs[j].SkellamVec(dims, share)
+	}
+	return out
+}
+
+// rngFamily derives the root, public-coin and per-client private
+// streams for one invocation.
+func rngFamily(seed uint64, clients int) (pub *randx.RNG, clientRNGs []*randx.RNG) {
+	root := randx.New(seed)
+	pub = root.Fork()
+	clientRNGs = make([]*randx.RNG, clients)
+	for j := range clientRNGs {
+		clientRNGs[j] = root.Fork()
+	}
+	return pub, clientRNGs
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sqm/internal/linalg"
+	"sqm/internal/randx"
+)
+
+// CovarianceStream accumulates the quantized covariance over record
+// batches, so databases too large for memory (the KDDCUP shape and
+// beyond) can be processed in passes: each batch is quantized with the
+// owning clients' randomness, folded into the integer Gram accumulator,
+// and discarded. Finalize injects the per-client Skellam shares and
+// applies the server's down-scaling — the one-shot Covariance and the
+// streamed version are distribution-identical, and bit-identical when
+// the same records arrive in the same order.
+//
+// The plaintext engine only: streaming the BGW variant would require
+// retaining shares of every batch, which defeats the purpose.
+type CovarianceStream struct {
+	p          Params
+	n          int
+	rows       int
+	upper      []int64
+	clientRNGs []*randx.RNG
+	start      time.Time
+	done       bool
+}
+
+// NewCovarianceStream prepares an accumulator for n attributes.
+func NewCovarianceStream(n int, p Params) (*CovarianceStream, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need at least one attribute, got %d", n)
+	}
+	if err := p.normalize(n); err != nil {
+		return nil, err
+	}
+	if p.Engine != EnginePlain {
+		return nil, fmt.Errorf("core: streaming covariance supports the plain engine only")
+	}
+	s := &CovarianceStream{p: p, n: n, upper: make([]int64, n*(n+1)/2), start: time.Now()}
+	_, s.clientRNGs = rngFamily(p.Seed, p.NumClients)
+	return s, nil
+}
+
+// Add folds one batch of records (rows of x) into the accumulator.
+func (s *CovarianceStream) Add(x *linalg.Matrix) error {
+	if s.done {
+		return fmt.Errorf("core: stream already finalized")
+	}
+	if x.Cols != s.n {
+		return fmt.Errorf("core: batch has %d columns, want %d", x.Cols, s.n)
+	}
+	qd := quantizeByClient(x, s.p, s.clientRNGs)
+	maxAbs := float64(qd.MaxAbs())
+	newRows := s.rows + x.Rows
+	if err := checkFieldBound(maxAbs*maxAbs*float64(newRows) + noiseMargin(s.p.Mu)); err != nil {
+		return err
+	}
+	for i := 0; i < qd.Rows; i++ {
+		row := qd.Row(i)
+		idx := 0
+		for a := 0; a < s.n; a++ {
+			va := row[a]
+			if va == 0 {
+				idx += s.n - a
+				continue
+			}
+			for b := a; b < s.n; b++ {
+				s.upper[idx] += va * row[b]
+				idx++
+			}
+		}
+	}
+	s.rows = newRows
+	return nil
+}
+
+// Rows returns the records accumulated so far.
+func (s *CovarianceStream) Rows() int { return s.rows }
+
+// Finalize injects the Skellam noise and returns the covariance
+// estimate; the stream cannot be reused afterwards.
+func (s *CovarianceStream) Finalize() (*linalg.Matrix, *Trace, error) {
+	if s.done {
+		return nil, nil, fmt.Errorf("core: stream already finalized")
+	}
+	s.done = true
+	tr := &Trace{Scale: s.p.Gamma * s.p.Gamma, Lat: s.p.Latency}
+	noiseStart := time.Now()
+	share := s.p.Mu / float64(len(s.clientRNGs))
+	for _, g := range s.clientRNGs {
+		for k := range s.upper {
+			s.upper[k] += g.Skellam(share)
+		}
+	}
+	tr.NoiseCompute = time.Since(noiseStart)
+	out := linalg.NewMatrix(s.n, s.n)
+	inv := 1 / tr.Scale
+	idx := 0
+	for a := 0; a < s.n; a++ {
+		for b := a; b < s.n; b++ {
+			v := float64(s.upper[idx]) * inv
+			out.Set(a, b, v)
+			out.Set(b, a, v)
+			idx++
+		}
+	}
+	tr.Compute = time.Since(s.start)
+	return out, tr, nil
+}

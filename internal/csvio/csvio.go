@@ -1,0 +1,172 @@
+// Package csvio loads and saves the dense matrices of this library as
+// CSV files, so the command-line tools can run the private mechanisms
+// on user-supplied data. It validates shape and numeric parsing
+// strictly: a malformed cell aborts with row/column context rather than
+// silently producing zeros (a quantization pipeline must never guess).
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"sqm/internal/linalg"
+)
+
+// Options controls parsing.
+type Options struct {
+	// HasHeader treats the first row as column names.
+	HasHeader bool
+	// LabelColumn extracts one column (by name when HasHeader, else by
+	// index string) as the label vector. Empty means no labels.
+	LabelColumn string
+}
+
+// Loaded is the parsed content.
+type Loaded struct {
+	X      *linalg.Matrix
+	Labels []float64 // nil unless a label column was requested
+	Header []string  // nil unless HasHeader
+}
+
+// Load reads a CSV file.
+func Load(path string, opts Options) (*Loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, opts)
+}
+
+// Read parses CSV content from a reader.
+func Read(r io.Reader, opts Options) (*Loaded, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0 // enforce rectangular input
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvio: empty input")
+	}
+	out := &Loaded{}
+	rows := records
+	if opts.HasHeader {
+		out.Header = records[0]
+		rows = records[1:]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("csvio: no data rows")
+	}
+	cols := len(rows[0])
+	labelIdx := -1
+	if opts.LabelColumn != "" {
+		labelIdx, err = resolveColumn(opts.LabelColumn, out.Header, cols)
+		if err != nil {
+			return nil, err
+		}
+		out.Labels = make([]float64, len(rows))
+	}
+	featCols := cols
+	if labelIdx >= 0 {
+		featCols--
+	}
+	out.X = linalg.NewMatrix(len(rows), featCols)
+	for i, rec := range rows {
+		dst := out.X.Row(i)
+		k := 0
+		for j, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("csvio: row %d column %d: %q is not numeric", i+1, j+1, cell)
+			}
+			if j == labelIdx {
+				out.Labels[i] = v
+				continue
+			}
+			dst[k] = v
+			k++
+		}
+	}
+	if out.Header != nil && labelIdx >= 0 {
+		h := make([]string, 0, featCols)
+		for j, name := range out.Header {
+			if j != labelIdx {
+				h = append(h, name)
+			}
+		}
+		out.Header = h
+	}
+	return out, nil
+}
+
+func resolveColumn(spec string, header []string, cols int) (int, error) {
+	if header != nil {
+		for j, name := range header {
+			if name == spec {
+				return j, nil
+			}
+		}
+	}
+	idx, err := strconv.Atoi(spec)
+	if err != nil || idx < 0 || idx >= cols {
+		if header != nil {
+			return 0, fmt.Errorf("csvio: label column %q not found in header and not a valid index", spec)
+		}
+		return 0, fmt.Errorf("csvio: label column %q is not a valid index in [0, %d)", spec, cols)
+	}
+	return idx, nil
+}
+
+// Write emits a matrix (with optional header) as CSV.
+func Write(w io.Writer, m *linalg.Matrix, header []string) error {
+	cw := csv.NewWriter(w)
+	if header != nil {
+		if len(header) != m.Cols {
+			return fmt.Errorf("csvio: header has %d names for %d columns", len(header), m.Cols)
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	row := make([]string, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteVector emits a single-column CSV.
+func WriteVector(w io.Writer, v []float64, name string) error {
+	m := linalg.NewMatrix(len(v), 1)
+	for i, x := range v {
+		m.Set(i, 0, x)
+	}
+	var header []string
+	if name != "" {
+		header = []string{name}
+	}
+	return Write(w, m, header)
+}
+
+// NormalizeRows clips every row of x to L2 norm at most c in place and
+// reports how many rows were clipped. The DP analysis requires the
+// bound; user data rarely arrives pre-normalized.
+func NormalizeRows(x *linalg.Matrix, c float64) int {
+	clipped := 0
+	for i := 0; i < x.Rows; i++ {
+		if linalg.ClipNorm(x.Row(i), c) != 1 {
+			clipped++
+		}
+	}
+	return clipped
+}

@@ -1,0 +1,150 @@
+package csvio
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sqm/internal/linalg"
+)
+
+func TestReadPlainMatrix(t *testing.T) {
+	in := "1,2,3\n4,5,6\n"
+	got, err := Read(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X.Rows != 2 || got.X.Cols != 3 {
+		t.Fatalf("shape = %dx%d", got.X.Rows, got.X.Cols)
+	}
+	if got.X.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v", got.X.At(1, 2))
+	}
+	if got.Header != nil || got.Labels != nil {
+		t.Fatal("no header/labels expected")
+	}
+}
+
+func TestReadWithHeaderAndLabelByName(t *testing.T) {
+	in := "a,b,income\n0.1,0.2,1\n0.3,0.4,0\n"
+	got, err := Read(strings.NewReader(in), Options{HasHeader: true, LabelColumn: "income"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X.Cols != 2 {
+		t.Fatalf("feature cols = %d", got.X.Cols)
+	}
+	if got.Labels[0] != 1 || got.Labels[1] != 0 {
+		t.Fatalf("labels = %v", got.Labels)
+	}
+	if len(got.Header) != 2 || got.Header[0] != "a" || got.Header[1] != "b" {
+		t.Fatalf("header = %v", got.Header)
+	}
+	if got.X.At(1, 1) != 0.4 {
+		t.Fatalf("X = %v", got.X.Data)
+	}
+}
+
+func TestReadLabelByIndexWithoutHeader(t *testing.T) {
+	in := "1,9,2\n3,8,4\n"
+	got, err := Read(strings.NewReader(in), Options{LabelColumn: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labels[0] != 9 || got.Labels[1] != 8 {
+		t.Fatalf("labels = %v", got.Labels)
+	}
+	if got.X.At(0, 1) != 2 {
+		t.Fatalf("features = %v", got.X.Data)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader(""), Options{}); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := Read(strings.NewReader("a,b\n"), Options{HasHeader: true}); err == nil {
+		t.Fatal("header-only input must error")
+	}
+	if _, err := Read(strings.NewReader("1,x\n"), Options{}); err == nil {
+		t.Fatal("non-numeric cell must error")
+	}
+	if _, err := Read(strings.NewReader("1,2\n3\n"), Options{}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, err := Read(strings.NewReader("a,b\n1,2\n"), Options{HasHeader: true, LabelColumn: "zz"}); err == nil {
+		t.Fatal("unknown label column must error")
+	}
+	if _, err := Read(strings.NewReader("1,2\n"), Options{LabelColumn: "7"}); err == nil {
+		t.Fatal("label index out of range must error")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	m := linalg.FromRows([][]float64{{1.5, -2}, {0, 3.25}})
+	var buf bytes.Buffer
+	if err := Write(&buf, m, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, Options{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if back.X.Data[i] != m.Data[i] {
+			t.Fatalf("round trip mismatch: %v vs %v", back.X.Data, m.Data)
+		}
+	}
+}
+
+func TestWriteHeaderMismatch(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, linalg.NewMatrix(1, 2), []string{"only"}); err == nil {
+		t.Fatal("header length mismatch must error")
+	}
+}
+
+func TestWriteVector(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, []float64{1, 2.5}, "w"); err != nil {
+		t.Fatal(err)
+	}
+	want := "w\n1\n2.5\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(path, []byte("1,2\n3,4\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X.At(1, 0) != 3 {
+		t.Fatalf("X = %v", got.X.Data)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.csv"), Options{}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	x := linalg.FromRows([][]float64{{3, 4}, {0.1, 0.1}})
+	clipped := NormalizeRows(x, 1)
+	if clipped != 1 {
+		t.Fatalf("clipped = %d", clipped)
+	}
+	if math.Abs(linalg.Norm2(x.Row(0))-1) > 1e-12 {
+		t.Fatalf("row 0 norm = %v", linalg.Norm2(x.Row(0)))
+	}
+	if x.At(1, 0) != 0.1 {
+		t.Fatal("short rows must be untouched")
+	}
+}

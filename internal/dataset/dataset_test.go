@@ -1,0 +1,213 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/linalg"
+	"sqm/internal/randx"
+)
+
+func TestKDDCupLikeShapeAndNorms(t *testing.T) {
+	d := KDDCupLike(500, 30, 1)
+	if d.Rows() != 500 || d.Cols() != 30 {
+		t.Fatalf("shape = %dx%d", d.Rows(), d.Cols())
+	}
+	if n := d.MaxRowNorm(); n > 1+1e-9 {
+		t.Fatalf("max row norm = %v exceeds C=1", n)
+	}
+	if d.Labels != nil {
+		t.Fatal("PCA dataset should have no labels")
+	}
+}
+
+func TestKDDCupLikeHasClusterStructure(t *testing.T) {
+	// Clustered data: the top few eigenvalues of the covariance should
+	// dominate the bulk.
+	d := KDDCupLike(800, 20, 2)
+	eig := linalg.SymEigen(d.X.Gram())
+	var top, total float64
+	for i, v := range eig.Values {
+		if i < 5 {
+			top += v
+		}
+		total += v
+	}
+	if top/total < 0.5 {
+		t.Fatalf("top-5 eigenvalue share = %v, want clustered structure", top/total)
+	}
+}
+
+func TestCiteSeerLikeSparseBinaryRows(t *testing.T) {
+	d := CiteSeerLike(100, 500, 3)
+	for i := 0; i < d.Rows(); i++ {
+		row := d.X.Row(i)
+		nonzero := 0
+		var first float64
+		for _, v := range row {
+			if v != 0 {
+				nonzero++
+				if first == 0 {
+					first = v
+				} else if math.Abs(v-first) > 1e-12 {
+					t.Fatal("active entries must share a value (normalized binary)")
+				}
+			}
+		}
+		if nonzero == 0 || nonzero > 30 {
+			t.Fatalf("row %d has %d active terms", i, nonzero)
+		}
+		if n := linalg.Norm2(row); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("row %d norm = %v", i, n)
+		}
+	}
+}
+
+func TestGeneLikeLowRankSpectrum(t *testing.T) {
+	d := GeneLike(200, 60, 4)
+	eig := linalg.SymEigen(d.X.Gram())
+	var top, total float64
+	for i, v := range eig.Values {
+		if v < 0 {
+			v = 0
+		}
+		if i < 12 {
+			top += v
+		}
+		total += v
+	}
+	if top/total < 0.7 {
+		t.Fatalf("top-12 eigenvalue share = %v, want strongly low-rank", top/total)
+	}
+	if n := d.MaxRowNorm(); n > 1+1e-9 {
+		t.Fatalf("max row norm = %v", n)
+	}
+}
+
+func TestACSIncomeLikeGeneration(t *testing.T) {
+	d, err := ACSIncomeLike("CA", 400, 200, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 400 || d.Cols() != 50 || d.TestX.Rows != 200 {
+		t.Fatal("shape mismatch")
+	}
+	if len(d.Labels) != 400 || len(d.TestLabels) != 200 {
+		t.Fatal("label counts")
+	}
+	pos := 0.0
+	for _, y := range d.Labels {
+		if y != 0 && y != 1 {
+			t.Fatalf("non-binary label %v", y)
+		}
+		pos += y
+	}
+	rate := pos / 400
+	if rate < 0.2 || rate > 0.65 {
+		t.Fatalf("positive rate = %v, want a non-degenerate class balance", rate)
+	}
+	if n := d.MaxRowNorm(); n > 1+1e-9 {
+		t.Fatalf("max row norm = %v", n)
+	}
+}
+
+func TestACSIncomeUnknownState(t *testing.T) {
+	if _, err := ACSIncomeLike("ZZ", 10, 10, 5, 1); err == nil {
+		t.Fatal("unknown state must error")
+	}
+}
+
+func TestACSStatesDiffer(t *testing.T) {
+	a, err := ACSIncomeLike("CA", 50, 10, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ACSIncomeLike("TX", 50, 10, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("states must generate different data")
+	}
+	if len(ACSStates()) != 4 {
+		t.Fatal("expected 4 states")
+	}
+}
+
+func TestACSIncomeIsLinearlySeparableEnough(t *testing.T) {
+	// A few plain logistic-regression steps must beat the majority
+	// class — the planted model must be learnable.
+	d, err := ACSIncomeLike("NY", 2000, 1000, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 40)
+	lr := 2.0
+	for epoch := 0; epoch < 60; epoch++ {
+		grad := make([]float64, 40)
+		for i := 0; i < d.Rows(); i++ {
+			row := d.X.Row(i)
+			p := sigmoid(linalg.Dot(w, row))
+			linalg.Axpy(p-d.Labels[i], row, grad)
+		}
+		linalg.Axpy(-lr/float64(d.Rows()), grad, w)
+	}
+	correct := 0
+	pos := 0.0
+	for i := 0; i < d.TestX.Rows; i++ {
+		p := sigmoid(linalg.Dot(w, d.TestX.Row(i)))
+		if (p >= 0.5) == (d.TestLabels[i] == 1) {
+			correct++
+		}
+		pos += d.TestLabels[i]
+	}
+	acc := float64(correct) / float64(d.TestX.Rows)
+	majority := math.Max(pos, float64(d.TestX.Rows)-pos) / float64(d.TestX.Rows)
+	if acc < majority+0.05 {
+		t.Fatalf("LR accuracy %v does not beat majority %v", acc, majority)
+	}
+	if acc < 0.65 {
+		t.Fatalf("accuracy %v too low for the planted model", acc)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := KDDCupLike(50, 10, 9)
+	b := KDDCupLike(50, 10, 9)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed must reproduce the dataset")
+		}
+	}
+}
+
+func TestNormalizeRowsZeroRow(t *testing.T) {
+	x := linalg.NewMatrix(2, 3)
+	x.Set(0, 0, 3)
+	normalizeRows(x)
+	if got := linalg.Norm2(x.Row(0)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("row 0 norm = %v", got)
+	}
+	for _, v := range x.Row(1) {
+		if v != 0 {
+			t.Fatal("zero row must stay zero")
+		}
+	}
+}
+
+func TestLowRankPlusNoiseRespectsRank(t *testing.T) {
+	g := randx.New(10)
+	x := lowRankPlusNoise(100, 30, 3, 0.5, 0.001, g)
+	eig := linalg.SymEigen(x.Gram())
+	// With near-zero noise, eigenvalue 4 should be tiny relative to 1.
+	if eig.Values[3] > 0.05*eig.Values[0] {
+		t.Fatalf("rank leakage: eig4/eig1 = %v", eig.Values[3]/eig.Values[0])
+	}
+}

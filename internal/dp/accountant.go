@@ -1,0 +1,124 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Accountant tracks the cumulative Rényi-DP cost of heterogeneous
+// mechanism invocations against one database — e.g. a covariance
+// release followed by a logistic-regression training run — and converts
+// the running total to (ε, δ) on demand. It holds the full RDP curve
+// (one τ per integer order), so composition stays tight: Lemma 10
+// composes order-wise and the conversion minimizes over orders at the
+// end rather than summing per-release ε values.
+//
+// Accountant is safe for concurrent use.
+type Accountant struct {
+	mu       sync.Mutex
+	maxAlpha int
+	taus     []float64 // taus[i] is the cumulative tau at order i+2
+	releases int
+}
+
+// NewAccountant tracks orders 2..maxAlpha (0 means DefaultMaxAlpha).
+func NewAccountant(maxAlpha int) *Accountant {
+	if maxAlpha < 2 {
+		maxAlpha = DefaultMaxAlpha
+	}
+	return &Accountant{maxAlpha: maxAlpha, taus: make([]float64, maxAlpha-1)}
+}
+
+// Releases returns how many mechanism invocations were recorded.
+func (a *Accountant) Releases() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.releases
+}
+
+// record adds one release's RDP curve.
+func (a *Accountant) record(curve Curve) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.taus {
+		a.taus[i] += curve(i + 2)
+	}
+	a.releases++
+}
+
+// AddSkellam records one Skellam-mechanism release (Lemma 1).
+func (a *Accountant) AddSkellam(delta1, delta2, mu float64) {
+	a.record(func(alpha int) float64 { return SkellamRDP(alpha, delta1, delta2, mu) })
+}
+
+// AddSubsampledSkellam records R rounds of the Poisson-subsampled
+// Skellam mechanism (Lemma 7's server-side accounting).
+func (a *Accountant) AddSubsampledSkellam(delta1, delta2, mu, q float64, rounds int) {
+	base := func(l int) float64 { return SkellamRDP(l, delta1, delta2, mu) }
+	a.record(func(alpha int) float64 {
+		if q >= 1 {
+			return float64(rounds) * base(alpha)
+		}
+		return float64(rounds) * SubsampledRDP(alpha, q, base)
+	})
+}
+
+// AddGaussian records one Gaussian-mechanism release.
+func (a *Accountant) AddGaussian(delta2, sigma float64) {
+	a.record(func(alpha int) float64 { return GaussianRDP(float64(alpha), delta2, sigma) })
+}
+
+// AddSubsampledGaussian records R rounds of subsampled Gaussian
+// (DPSGD-style).
+func (a *Accountant) AddSubsampledGaussian(delta2, sigma, q float64, rounds int) {
+	base := func(l int) float64 { return GaussianRDP(float64(l), delta2, sigma) }
+	a.record(func(alpha int) float64 {
+		if q >= 1 {
+			return float64(rounds) * base(alpha)
+		}
+		return float64(rounds) * SubsampledRDP(alpha, q, base)
+	})
+}
+
+// AddRDP records an arbitrary mechanism by its RDP curve.
+func (a *Accountant) AddRDP(curve Curve) { a.record(curve) }
+
+// Epsilon converts the cumulative curve to ε at the given δ.
+func (a *Accountant) Epsilon(delta float64) (float64, int) {
+	a.mu.Lock()
+	taus := append([]float64(nil), a.taus...)
+	a.mu.Unlock()
+	return BestEpsilon(func(alpha int) float64 {
+		if alpha < 2 || alpha > len(taus)+1 {
+			return math.Inf(1)
+		}
+		return taus[alpha-2]
+	}, delta, len(taus)+1)
+}
+
+// Delta converts the cumulative curve to δ at the given ε.
+func (a *Accountant) Delta(eps float64) (float64, int) {
+	a.mu.Lock()
+	taus := append([]float64(nil), a.taus...)
+	a.mu.Unlock()
+	return BestDelta(func(alpha int) float64 {
+		if alpha < 2 || alpha > len(taus)+1 {
+			return math.Inf(1)
+		}
+		return taus[alpha-2]
+	}, eps, len(taus)+1)
+}
+
+// Remaining reports how much ε of a total budget is left at δ; negative
+// means the budget is exceeded.
+func (a *Accountant) Remaining(budgetEps, delta float64) float64 {
+	spent, _ := a.Epsilon(delta)
+	return budgetEps - spent
+}
+
+// String summarizes the state.
+func (a *Accountant) String() string {
+	eps, alpha := a.Epsilon(1e-5)
+	return fmt.Sprintf("dp.Accountant{releases: %d, eps(1e-5): %.4f @ alpha=%d}", a.Releases(), eps, alpha)
+}

@@ -1,0 +1,132 @@
+package dp
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAccountantEmpty(t *testing.T) {
+	a := NewAccountant(0)
+	if a.Releases() != 0 {
+		t.Fatal("fresh accountant has releases")
+	}
+	eps, _ := a.Epsilon(1e-5)
+	// Zero RDP cost: only the delta conversion term remains, which is
+	// minimized at the largest alpha and positive.
+	if eps <= 0 || eps > math.Log(1e5) {
+		t.Fatalf("empty eps = %v", eps)
+	}
+}
+
+func TestAccountantSingleSkellamMatchesDirect(t *testing.T) {
+	a := NewAccountant(64)
+	a.AddSkellam(100, 100, 1e6)
+	got, _ := a.Epsilon(1e-5)
+	want, _ := SkellamEpsilon(100, 100, 1e6, 1, 1, 1e-5, 64)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("accountant %v vs direct %v", got, want)
+	}
+}
+
+func TestAccountantComposesTighterThanEpsSum(t *testing.T) {
+	// Order-wise RDP composition must beat naive ε addition.
+	a := NewAccountant(128)
+	for i := 0; i < 4; i++ {
+		a.AddGaussian(1, 10)
+	}
+	composed, _ := a.Epsilon(1e-5)
+	single, _ := GaussianEpsilon(1, 10, 1, 1, 1e-5, 128)
+	if composed >= 4*single {
+		t.Fatalf("composed %v not tighter than 4x single %v", composed, 4*single)
+	}
+	// And it matches the 4-round direct accountant exactly.
+	direct, _ := GaussianEpsilon(1, 10, 1, 4, 1e-5, 128)
+	if math.Abs(composed-direct) > 1e-12 {
+		t.Fatalf("composed %v vs direct 4-round %v", composed, direct)
+	}
+}
+
+func TestAccountantHeterogeneousReleases(t *testing.T) {
+	// PCA covariance (Skellam) + DPSGD training (subsampled Gaussian):
+	// the combined epsilon exceeds each part and is below their sum of
+	// independent conversions... the latter only guaranteed for RDP
+	// curves; check ordering invariants.
+	a := NewAccountant(64)
+	a.AddSkellam(1e4, 1e4, 1e12)
+	partial, _ := a.Epsilon(1e-5)
+	a.AddSubsampledGaussian(1, 3, 0.01, 500)
+	total, _ := a.Epsilon(1e-5)
+	if total <= partial {
+		t.Fatalf("adding a release cannot lower eps: %v -> %v", partial, total)
+	}
+	if a.Releases() != 2 {
+		t.Fatalf("releases = %d", a.Releases())
+	}
+}
+
+func TestAccountantSubsampledSkellamMatchesLemma7Path(t *testing.T) {
+	a := NewAccountant(64)
+	a.AddSubsampledSkellam(1e6, 1e3, 1e12, 0.001, 2000)
+	got, _ := a.Epsilon(1e-5)
+	want, _ := SkellamEpsilon(1e6, 1e3, 1e12, 0.001, 2000, 1e-5, 64)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("accountant %v vs direct %v", got, want)
+	}
+}
+
+func TestAccountantDeltaDirection(t *testing.T) {
+	a := NewAccountant(64)
+	a.AddGaussian(1, 5)
+	eps, _ := a.Epsilon(1e-5)
+	delta, _ := a.Delta(eps)
+	if delta > 1e-5*1.01 {
+		t.Fatalf("Delta(Epsilon(1e-5)) = %v", delta)
+	}
+}
+
+func TestAccountantRemaining(t *testing.T) {
+	a := NewAccountant(64)
+	a.AddGaussian(1, 2)
+	rem := a.Remaining(10, 1e-5)
+	spent, _ := a.Epsilon(1e-5)
+	if math.Abs(rem-(10-spent)) > 1e-12 {
+		t.Fatalf("Remaining = %v, spent = %v", rem, spent)
+	}
+	a.AddGaussian(1, 0.01) // blow the budget
+	if a.Remaining(1, 1e-5) >= 0 {
+		t.Fatal("budget should be exceeded")
+	}
+}
+
+func TestAccountantAddRDPAndString(t *testing.T) {
+	a := NewAccountant(32)
+	a.AddRDP(func(alpha int) float64 { return 0.01 * float64(alpha) })
+	if s := a.String(); !strings.Contains(s, "releases: 1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAccountantConcurrentUse(t *testing.T) {
+	a := NewAccountant(32)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.AddGaussian(1, 20)
+			a.Epsilon(1e-5)
+		}()
+	}
+	wg.Wait()
+	if a.Releases() != 16 {
+		t.Fatalf("releases = %d", a.Releases())
+	}
+	// Deterministic total regardless of interleaving.
+	got, _ := a.Epsilon(1e-5)
+	want, _ := GaussianEpsilon(1, 20, 1, 16, 1e-5, 32)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("concurrent total %v vs direct %v", got, want)
+	}
+}

@@ -1,0 +1,334 @@
+// Package dp implements the differential-privacy accounting used by SQM
+// and its baselines:
+//
+//   - the Rényi-DP guarantee of the Skellam mechanism (Lemma 1 of the
+//     paper, from Agarwal et al. and Bao et al.),
+//   - Gaussian RDP for the centralized and local baselines,
+//   - RDP→(ε,δ) conversion (Lemma 9, Canonne–Kamath–Steinke),
+//   - composition (Lemma 10) and privacy amplification by Poisson
+//     subsampling (Lemma 11, Mironov–Talwar–Zhang / Zhu–Wang),
+//   - the analytic Gaussian mechanism (Lemma 8, Balle–Wang), and
+//   - calibration: the minimal Skellam parameter μ or Gaussian σ that
+//     meets a target (ε, δ).
+//
+// All accountants work on log-space arithmetic so that large RDP values
+// never overflow.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sqm/internal/mathx"
+)
+
+// SkellamRDP returns the Rényi divergence bound τ at integer order
+// alpha > 1 for releasing an integer-valued function with L1/L2
+// sensitivities delta1, delta2 perturbed by Sk(mu) noise (Lemma 1,
+// Eq. 2):
+//
+//	τ ≤ α·Δ₂²/(4μ) + min( ((2α−1)Δ₂² + 6Δ₁)/(16μ²), 3Δ₁/(4μ) ).
+func SkellamRDP(alpha int, delta1, delta2, mu float64) float64 {
+	if alpha < 2 {
+		panic("dp: SkellamRDP needs integer alpha >= 2")
+	}
+	if mu <= 0 {
+		return math.Inf(1)
+	}
+	a := float64(alpha)
+	lead := a * delta2 * delta2 / (4 * mu)
+	t1 := ((2*a-1)*delta2*delta2 + 6*delta1) / (16 * mu * mu)
+	t2 := 3 * delta1 / (4 * mu)
+	return lead + math.Min(t1, t2)
+}
+
+// SkellamRDPClient returns the client-observed RDP bound (Lemmas 3/4).
+// A curious client knows its own local noise, so the effective noise is
+// Sk((n−1)/n · μ); and because the record count is public to clients,
+// neighboring databases replace a record, doubling both sensitivities.
+func SkellamRDPClient(alpha int, delta1, delta2, mu float64, numClients int) float64 {
+	if numClients < 2 {
+		return math.Inf(1)
+	}
+	effMu := mu * float64(numClients-1) / float64(numClients)
+	return SkellamRDP(alpha, 2*delta1, 2*delta2, effMu)
+}
+
+// GaussianRDP returns the RDP of the Gaussian mechanism at order alpha
+// for L2 sensitivity delta2 and noise scale sigma: τ = α·Δ₂²/(2σ²).
+func GaussianRDP(alpha, delta2, sigma float64) float64 {
+	if sigma <= 0 {
+		return math.Inf(1)
+	}
+	return alpha * delta2 * delta2 / (2 * sigma * sigma)
+}
+
+// RDPToDP converts an (alpha, tau)-RDP guarantee to (ε, δ)-DP (Lemma 9):
+//
+//	ε = τ + ( log(1/δ) + (α−1)·log(1−1/α) − log α ) / (α−1).
+func RDPToDP(alpha int, tau, delta float64) float64 {
+	if alpha < 2 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("dp: invalid RDPToDP arguments alpha=%d delta=%v", alpha, delta))
+	}
+	a := float64(alpha)
+	return tau + (math.Log(1/delta)+(a-1)*math.Log(1-1/a)-math.Log(a))/(a-1)
+}
+
+// GroupPrivacy converts a record-level (ε, δ)-DP guarantee to a
+// k-record (user-level) guarantee by the standard group-privacy bound:
+// ε_k = k·ε and δ_k = δ·(e^{kε} − 1)/(e^ε − 1). The paper flags
+// user-level accounting as future work (§V-B); this is the baseline
+// conversion a deployment can apply today when one user contributes up
+// to k records.
+func GroupPrivacy(eps, delta float64, k int) (float64, float64) {
+	if k < 1 {
+		panic("dp: group size must be >= 1")
+	}
+	if k == 1 {
+		return eps, delta
+	}
+	ke := float64(k) * eps
+	// δ_k = δ Σ_{i=0}^{k-1} e^{iε} = δ(e^{kε}−1)/(e^ε−1); computed in a
+	// form stable for small ε.
+	var factor float64
+	if eps < 1e-12 {
+		factor = float64(k)
+	} else {
+		factor = math.Expm1(ke) / math.Expm1(eps)
+	}
+	dk := delta * factor
+	if dk > 1 {
+		dk = 1
+	}
+	return ke, dk
+}
+
+// DPDelta inverts Lemma 9 in the δ direction: the smallest δ for which
+// an (alpha, tau)-RDP mechanism is (eps, δ)-DP. Values above 1 clamp
+// to 1 (the vacuous guarantee).
+func DPDelta(alpha int, tau, eps float64) float64 {
+	if alpha < 2 {
+		panic("dp: DPDelta needs integer alpha >= 2")
+	}
+	a := float64(alpha)
+	logInvDelta := (eps-tau)*(a-1) - (a-1)*math.Log(1-1/a) + math.Log(a)
+	if logInvDelta <= 0 {
+		return 1
+	}
+	return math.Exp(-logInvDelta)
+}
+
+// BestDelta minimizes DPDelta over integer orders 2..maxAlpha for a
+// fixed ε.
+func BestDelta(curve Curve, eps float64, maxAlpha int) (delta float64, alpha int) {
+	if maxAlpha < 2 {
+		maxAlpha = DefaultMaxAlpha
+	}
+	delta, alpha = 1, 2
+	for a := 2; a <= maxAlpha; a++ {
+		tau := curve(a)
+		if math.IsInf(tau, 1) || math.IsNaN(tau) {
+			continue
+		}
+		if d := DPDelta(a, tau, eps); d < delta {
+			delta, alpha = d, a
+		}
+	}
+	return delta, alpha
+}
+
+// Compose sums RDP bounds at a common order (Lemma 10).
+func Compose(taus ...float64) float64 {
+	var s float64
+	for _, t := range taus {
+		s += t
+	}
+	return s
+}
+
+// SubsampledRDP applies Poisson-subsampling amplification (Lemma 11) at
+// integer order alpha >= 2 with sampling rate q, given the base
+// mechanism's RDP curve tau(l) for l = 2..alpha:
+//
+//	τ' = 1/(α−1) · log( (1−q)^{α−1}(αq−q+1)
+//	       + Σ_{l=2}^{α} C(α,l)(1−q)^{α−l} q^l e^{(l−1)τ_l} ).
+//
+// The sum is evaluated in log space so large τ_l cannot overflow.
+func SubsampledRDP(alpha int, q float64, tau func(l int) float64) float64 {
+	if alpha < 2 {
+		panic("dp: SubsampledRDP needs integer alpha >= 2")
+	}
+	if q < 0 || q > 1 {
+		panic("dp: sampling rate must be in [0, 1]")
+	}
+	if q == 0 {
+		return 0
+	}
+	if q == 1 {
+		return tau(alpha)
+	}
+	a := float64(alpha)
+	logq := math.Log(q)
+	log1q := math.Log1p(-q)
+	// l = 0 and l = 1 terms collapse into (1-q)^{α-1}(αq - q + 1).
+	acc := (a-1)*log1q + math.Log(a*q-q+1)
+	for l := 2; l <= alpha; l++ {
+		tl := tau(l)
+		if math.IsInf(tl, 1) {
+			return math.Inf(1)
+		}
+		term := mathx.LogBinomial(alpha, l) + float64(alpha-l)*log1q + float64(l)*logq + float64(l-1)*tl
+		acc = mathx.LogAdd(acc, term)
+	}
+	v := acc / (a - 1)
+	if v < 0 {
+		// The bound is a divergence; tiny negative values are
+		// floating-point artifacts of the log-space sum.
+		return 0
+	}
+	return v
+}
+
+// Curve is an RDP curve: tau as a function of the integer order alpha.
+type Curve func(alpha int) float64
+
+// DefaultMaxAlpha bounds the order search in BestEpsilon.
+const DefaultMaxAlpha = 256
+
+// BestEpsilon converts an RDP curve to the tightest (ε, δ) guarantee by
+// minimizing over integer orders 2..maxAlpha (Lemma 9 at each order).
+func BestEpsilon(curve Curve, delta float64, maxAlpha int) (eps float64, alpha int) {
+	if maxAlpha < 2 {
+		maxAlpha = DefaultMaxAlpha
+	}
+	eps = math.Inf(1)
+	alpha = 2
+	for a := 2; a <= maxAlpha; a++ {
+		tau := curve(a)
+		if math.IsInf(tau, 1) || math.IsNaN(tau) {
+			continue
+		}
+		if e := RDPToDP(a, tau, delta); e < eps {
+			eps, alpha = e, a
+		}
+	}
+	return eps, alpha
+}
+
+// ErrCalibration reports that no noise scale in the search bracket meets
+// the target privacy level.
+var ErrCalibration = errors.New("dp: calibration target unreachable in search bracket")
+
+// CalibrateNoise finds the minimal noise scale s (μ for Skellam, σ for
+// Gaussian — anything with eps monotone non-increasing in s) such that
+// the mechanism's ε at privacy parameter δ is at most targetEps.
+// epsAt(s) must return the converted ε for scale s. The search runs over
+// the multiplicative bracket [lo, hi].
+func CalibrateNoise(targetEps float64, epsAt func(scale float64) float64, lo, hi float64) (float64, error) {
+	if lo <= 0 || hi <= lo {
+		return 0, fmt.Errorf("dp: invalid bracket [%v, %v]", lo, hi)
+	}
+	pred := func(logS float64) bool { return epsAt(math.Exp(logS)) <= targetEps }
+	logS, ok := mathx.BisectMonotone(pred, math.Log(lo), math.Log(hi), 60)
+	if !ok {
+		return 0, ErrCalibration
+	}
+	return math.Exp(logS), nil
+}
+
+// SkellamEpsilon is the server-observed (ε, δ) of R adaptive invocations
+// of the Skellam mechanism with Poisson subsampling rate q (q = 1 or
+// rounds without subsampling compose directly). It is the accountant
+// behind Lemma 7's τ_server.
+func SkellamEpsilon(delta1, delta2, mu, q float64, rounds int, delta float64, maxAlpha int) (float64, int) {
+	base := func(l int) float64 { return SkellamRDP(l, delta1, delta2, mu) }
+	curve := func(a int) float64 {
+		var perRound float64
+		if q >= 1 {
+			perRound = base(a)
+		} else {
+			perRound = SubsampledRDP(a, q, base)
+		}
+		return float64(rounds) * perRound
+	}
+	return BestEpsilon(curve, delta, maxAlpha)
+}
+
+// SkellamClientEpsilon is the client-observed (ε, δ) over R rounds
+// (subsampling does not amplify against clients, who know the batch —
+// Lemma 7's τ_client).
+func SkellamClientEpsilon(delta1, delta2, mu float64, numClients, rounds int, delta float64, maxAlpha int) (float64, int) {
+	curve := func(a int) float64 {
+		return float64(rounds) * SkellamRDPClient(a, delta1, delta2, mu, numClients)
+	}
+	return BestEpsilon(curve, delta, maxAlpha)
+}
+
+// CalibrateSkellamMu returns the minimal Skellam parameter μ whose
+// server-observed ε (with subsampling rate q over the given rounds) is
+// at most targetEps at privacy parameter delta.
+func CalibrateSkellamMu(targetEps, delta, delta1, delta2, q float64, rounds int) (float64, error) {
+	epsAt := func(mu float64) float64 {
+		e, _ := SkellamEpsilon(delta1, delta2, mu, q, rounds, delta, DefaultMaxAlpha)
+		return e
+	}
+	return CalibrateNoise(targetEps, epsAt, 1e-9, 1e40)
+}
+
+// GaussianEpsilon is the (ε, δ) of R rounds of the (optionally
+// subsampled) Gaussian mechanism — the accountant used for DPSGD.
+func GaussianEpsilon(delta2, sigma, q float64, rounds int, delta float64, maxAlpha int) (float64, int) {
+	base := func(l int) float64 { return GaussianRDP(float64(l), delta2, sigma) }
+	curve := func(a int) float64 {
+		var perRound float64
+		if q >= 1 {
+			perRound = base(a)
+		} else {
+			perRound = SubsampledRDP(a, q, base)
+		}
+		return float64(rounds) * perRound
+	}
+	return BestEpsilon(curve, delta, maxAlpha)
+}
+
+// CalibrateGaussianSigma returns the minimal σ for the (subsampled,
+// composed) Gaussian mechanism meeting (targetEps, delta).
+func CalibrateGaussianSigma(targetEps, delta, delta2, q float64, rounds int) (float64, error) {
+	epsAt := func(sigma float64) float64 {
+		e, _ := GaussianEpsilon(delta2, sigma, q, rounds, delta, DefaultMaxAlpha)
+		return e
+	}
+	return CalibrateNoise(targetEps, epsAt, 1e-9, 1e30)
+}
+
+// AnalyticGaussianSigma returns the minimal σ such that adding
+// N(0, σ²·I) to a function with L2 sensitivity delta2 satisfies
+// (ε, δ)-DP, per the analytic Gaussian mechanism (Lemma 8): σ = Δ /
+// (√2(√(χ²+ε) − χ)) where χ solves erfc(χ) − e^ε·erfc(√(χ²+ε)) = 2δ.
+func AnalyticGaussianSigma(eps, delta, delta2 float64) (float64, error) {
+	if eps <= 0 || delta <= 0 || delta >= 1 || delta2 <= 0 {
+		return 0, fmt.Errorf("dp: invalid analytic Gaussian arguments eps=%v delta=%v delta2=%v", eps, delta, delta2)
+	}
+	f := func(chi float64) float64 {
+		return math.Erfc(chi) - math.Exp(eps)*math.Erfc(math.Sqrt(chi*chi+eps)) - 2*delta
+	}
+	// f decreases from ~2-2δ (χ→−∞) to −2δ (χ→+∞); bracket generously.
+	lo, hi := -30.0, 200.0
+	chi, err := mathx.Bisect(f, lo, hi, 200)
+	if err != nil {
+		return 0, fmt.Errorf("dp: analytic Gaussian bracket failed: %w", err)
+	}
+	denom := math.Sqrt2 * (math.Sqrt(chi*chi+eps) - chi)
+	if denom <= 0 {
+		return 0, errors.New("dp: analytic Gaussian produced non-positive denominator")
+	}
+	return delta2 / denom, nil
+}
+
+// ClassicGaussianSigma is the textbook calibration
+// σ = Δ·√(2·ln(1.25/δ))/ε (valid for ε <= 1; looser than the analytic
+// mechanism). Retained for cross-checks in tests.
+func ClassicGaussianSigma(eps, delta, delta2 float64) float64 {
+	return delta2 * math.Sqrt(2*math.Log(1.25/delta)) / eps
+}

@@ -1,0 +1,124 @@
+// Package field implements arithmetic in the prime field ℤ_p with the
+// Mersenne prime p = 2^61 − 1. It is the algebraic substrate for Shamir
+// secret sharing and the BGW protocol: every quantized value and Skellam
+// noise share in SQM is embedded into this field, so the modulus must
+// exceed twice the largest absolute aggregate (checked by callers).
+package field
+
+import (
+	"math/bits"
+
+	"sqm/internal/randx"
+)
+
+// Modulus is the field order, the Mersenne prime 2^61 − 1.
+const Modulus uint64 = 1<<61 - 1
+
+// Elem is a field element in canonical form (0 <= e < Modulus).
+type Elem uint64
+
+// reduce maps any uint64 below 2*Modulus into canonical form.
+func reduce(v uint64) Elem {
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return Elem(v)
+}
+
+// Add returns a + b mod p.
+func Add(a, b Elem) Elem {
+	return reduce(uint64(a) + uint64(b))
+}
+
+// Sub returns a − b mod p.
+func Sub(a, b Elem) Elem {
+	return reduce(uint64(a) + Modulus - uint64(b))
+}
+
+// Neg returns −a mod p.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(Modulus - uint64(a))
+}
+
+// Mul returns a · b mod p using a Mersenne fold of the 128-bit product:
+// with p = 2^61 − 1, 2^64 ≡ 8 and 2^61 ≡ 1 (mod p).
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// product = hi·2^64 + lo ≡ 8·hi + (lo >> 61) + (lo & p).
+	s := hi<<3 | lo>>61 // hi < 2^58 so hi<<3 keeps the top bits free
+	v := (lo & Modulus) + s
+	if v >= Modulus {
+		v -= Modulus
+	}
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return Elem(v)
+}
+
+// Exp returns a^e mod p by square and multiply.
+func Exp(a Elem, e uint64) Elem {
+	r := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			r = Mul(r, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse a^{p−2} mod p; Inv(0) panics.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	return Exp(a, Modulus-2)
+}
+
+// FromInt64 embeds a signed integer into the field: negative values map
+// to p − |v|. The value must satisfy |v| < p/2 so the embedding is
+// injective alongside ToInt64; larger magnitudes panic.
+func FromInt64(v int64) Elem {
+	const half = Modulus / 2
+	if v >= 0 {
+		if uint64(v) > half {
+			panic("field: value exceeds signed embedding range")
+		}
+		return Elem(v)
+	}
+	u := uint64(-v)
+	if u > half {
+		panic("field: value exceeds signed embedding range")
+	}
+	return Elem(Modulus - u)
+}
+
+// ToInt64 inverts FromInt64: elements above p/2 decode as negative.
+func ToInt64(e Elem) int64 {
+	const half = Modulus / 2
+	if uint64(e) <= half {
+		return int64(e)
+	}
+	return -int64(Modulus - uint64(e))
+}
+
+// Rand returns a uniform field element using rejection sampling on
+// 61-bit candidates.
+func Rand(rng *randx.RNG) Elem {
+	for {
+		v := rng.Uint64() & Modulus // 61 low bits
+		if v < Modulus {
+			return Elem(v)
+		}
+	}
+}
+
+// MaxSignedValue is the largest |v| representable by the signed
+// embedding, p/2 (rounded down).
+const MaxSignedValue = int64(Modulus / 2)

@@ -1,0 +1,42 @@
+package field
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzMulMatchesBigInt cross-checks the Mersenne-fold multiplication
+// against math/big on arbitrary operands.
+func FuzzMulMatchesBigInt(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(Modulus-1))
+	f.Add(uint64(Modulus-1), uint64(Modulus-1))
+	f.Add(uint64(1<<60), uint64(1<<60))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		x := Elem(a % Modulus)
+		y := Elem(b % Modulus)
+		got := Mul(x, y)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(uint64(x)), new(big.Int).SetUint64(uint64(y)))
+		want.Mod(want, new(big.Int).SetUint64(Modulus))
+		if uint64(got) != want.Uint64() {
+			t.Fatalf("Mul(%d, %d) = %d, want %d", x, y, got, want.Uint64())
+		}
+	})
+}
+
+// FuzzSignedEmbedding checks that every in-range signed value round
+// trips.
+func FuzzSignedEmbedding(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(-1))
+	f.Add(MaxSignedValue)
+	f.Add(-MaxSignedValue)
+	f.Fuzz(func(t *testing.T, v int64) {
+		if v > MaxSignedValue || v < -MaxSignedValue {
+			return
+		}
+		if got := ToInt64(FromInt64(v)); got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+
+	"sqm/internal/randx"
+)
+
+// EigenResult holds a symmetric eigendecomposition with eigenvalues in
+// descending order. Vectors.Col(i) is the unit eigenvector for Values[i].
+type EigenResult struct {
+	Values  []float64
+	Vectors *Matrix // n x n, column i ↔ Values[i]
+}
+
+// SymEigen computes the full eigendecomposition of a symmetric matrix by
+// the cyclic Jacobi method. Intended for moderate n (≲ 1500); use TopK
+// for large matrices where only the principal subspace matters.
+func SymEigen(a *Matrix) *EigenResult {
+	a.mustSquare()
+	n := a.Rows
+	s := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(s)
+		if off <= 1e-12*(1+s.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(s, v, p, q)
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns accordingly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sorted := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return &EigenResult{Values: sorted, Vectors: vecs}
+}
+
+func offDiagNorm(s *Matrix) float64 {
+	var sum float64
+	for i := 0; i < s.Rows; i++ {
+		for j := i + 1; j < s.Cols; j++ {
+			sum += 2 * s.At(i, j) * s.At(i, j)
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// jacobiRotate zeroes s[p,q] with a Givens rotation, accumulating into v.
+func jacobiRotate(s, v *Matrix, p, q int) {
+	apq := s.At(p, q)
+	if apq == 0 {
+		return
+	}
+	app, aqq := s.At(p, p), s.At(q, q)
+	theta := (aqq - app) / (2 * apq)
+	t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+	c := 1 / math.Sqrt(t*t+1)
+	sn := t * c
+	n := s.Rows
+	for k := 0; k < n; k++ {
+		skp, skq := s.At(k, p), s.At(k, q)
+		s.Set(k, p, c*skp-sn*skq)
+		s.Set(k, q, sn*skp+c*skq)
+	}
+	for k := 0; k < n; k++ {
+		spk, sqk := s.At(p, k), s.At(q, k)
+		s.Set(p, k, c*spk-sn*sqk)
+		s.Set(q, k, sn*spk+c*sqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-sn*vkq)
+		v.Set(k, q, sn*vkp+c*vkq)
+	}
+}
+
+// TopK returns the k principal eigenvectors (as the columns of an n x k
+// orthonormal matrix) of a symmetric matrix, via randomized subspace
+// (block power) iteration with Gram-Schmidt re-orthonormalization. It
+// shifts the matrix so block power iteration converges to the largest
+// *algebraic* eigenvalues even when negative eigenvalues dominate in
+// magnitude — that is what PCA on a noisy covariance needs.
+func TopK(a *Matrix, k int, rng *randx.RNG, iters int) *Matrix {
+	a.mustSquare()
+	n := a.Rows
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return NewMatrix(n, 0)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	// Gershgorin-style lower bound: a + shift*I is PSD-ish so the top
+	// algebraic eigenvalues are also top in magnitude.
+	shift := gershgorinLowerBound(a)
+	var sh float64
+	if shift < 0 {
+		sh = -shift
+	}
+	q := NewMatrix(n, k)
+	for j := 0; j < k; j++ {
+		col := rng.GaussianVec(n, 1)
+		q.SetCol(j, col)
+	}
+	orthonormalize(q)
+	tmp := NewMatrix(n, k)
+	for it := 0; it < iters; it++ {
+		// tmp = (a + sh*I) * q
+		for j := 0; j < k; j++ {
+			col := q.Col(j)
+			res := a.MulVec(col)
+			if sh != 0 {
+				Axpy(sh, col, res)
+			}
+			tmp.SetCol(j, res)
+		}
+		q, tmp = tmp, q
+		orthonormalize(q)
+	}
+	return q
+}
+
+func gershgorinLowerBound(a *Matrix) float64 {
+	lo := math.Inf(1)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var r float64
+		for j, v := range row {
+			if j != i {
+				r += math.Abs(v)
+			}
+		}
+		if b := a.At(i, i) - r; b < lo {
+			lo = b
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return lo
+}
+
+// orthonormalize applies modified Gram-Schmidt to the columns of q in
+// place. Columns that collapse to (numerical) zero are replaced by
+// canonical basis vectors to keep the output full rank.
+func orthonormalize(q *Matrix) {
+	n, k := q.Rows, q.Cols
+	for j := 0; j < k; j++ {
+		col := q.Col(j)
+		for i := 0; i < j; i++ {
+			prev := q.Col(i)
+			Axpy(-Dot(prev, col), prev, col)
+		}
+		norm := Norm2(col)
+		if norm < 1e-12 {
+			for r := range col {
+				col[r] = 0
+			}
+			col[j%n] = 1
+			for i := 0; i < j; i++ {
+				prev := q.Col(i)
+				Axpy(-Dot(prev, col), prev, col)
+			}
+			norm = Norm2(col)
+			if norm < 1e-12 {
+				continue
+			}
+		}
+		ScaleVec(1/norm, col)
+		q.SetCol(j, col)
+	}
+}
+
+// ProjectPSD returns the nearest (Frobenius) positive-semidefinite
+// matrix to a symmetric input by clamping negative eigenvalues to zero
+// — standard post-processing for noisy covariance estimates, free under
+// DP. Uses the full Jacobi solver; intended for moderate n.
+func ProjectPSD(a *Matrix) *Matrix {
+	e := SymEigen(a)
+	n := a.Rows
+	out := NewMatrix(n, n)
+	for k, lam := range e.Values {
+		if lam <= 0 {
+			continue
+		}
+		v := e.Vectors.Col(k)
+		for i := 0; i < n; i++ {
+			if v[i] == 0 {
+				continue
+			}
+			row := out.Row(i)
+			s := lam * v[i]
+			for j := 0; j < n; j++ {
+				row[j] += s * v[j]
+			}
+		}
+	}
+	return out
+}
+
+// SpectralNorm estimates ‖a‖₂ (largest singular value) by power
+// iteration on aᵀa, accurate to a relative tolerance of about 1e-6.
+func SpectralNorm(a *Matrix, rng *randx.RNG) float64 {
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	v := rng.GaussianVec(a.Cols, 1)
+	nv := Norm2(v)
+	if nv == 0 {
+		return 0
+	}
+	ScaleVec(1/nv, v)
+	at := a.T()
+	prev := 0.0
+	for it := 0; it < 200; it++ {
+		w := a.MulVec(v)
+		v2 := at.MulVec(w)
+		n2 := Norm2(v2)
+		if n2 == 0 {
+			return 0
+		}
+		ScaleVec(1/n2, v2)
+		v = v2
+		est := Norm2(a.MulVec(v))
+		if math.Abs(est-prev) <= 1e-6*(1+est) {
+			return est
+		}
+		prev = est
+	}
+	return prev
+}

@@ -1,0 +1,220 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/randx"
+)
+
+// randomSymmetric builds a symmetric matrix with a planted spectrum.
+func randomSymmetric(n int, eigvals []float64, g *randx.RNG) *Matrix {
+	// Random orthogonal basis from QR of a Gaussian matrix.
+	q := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		q.SetCol(j, g.GaussianVec(n, 1))
+	}
+	orthonormalize(q)
+	// A = Q diag(eig) Qᵀ
+	d := NewMatrix(n, n)
+	for i, v := range eigvals {
+		d.Set(i, i, v)
+	}
+	return q.Mul(d).Mul(q.T())
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 7}})
+	e := SymEigen(a)
+	want := []float64{7, 3, -1}
+	for i, w := range want {
+		if math.Abs(e.Values[i]-w) > 1e-10 {
+			t.Fatalf("Values = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	e := SymEigen(a)
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("Values = %v", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	v := e.Vectors.Col(0)
+	if math.Abs(math.Abs(v[0])-1/math.Sqrt2) > 1e-8 || math.Abs(v[0]-v[1]) > 1e-8 {
+		t.Fatalf("principal vector = %v", v)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	g := randx.New(9)
+	eig := []float64{10, 5, 2, 1, -3, -8}
+	a := randomSymmetric(6, eig, g)
+	e := SymEigen(a)
+	for i, w := range []float64{10, 5, 2, 1, -3, -8} {
+		if math.Abs(e.Values[i]-w) > 1e-8 {
+			t.Fatalf("Values[%d] = %v, want %v", i, e.Values[i], w)
+		}
+	}
+	// A ≈ V diag(values) Vᵀ.
+	d := NewMatrix(6, 6)
+	for i, v := range e.Values {
+		d.Set(i, i, v)
+	}
+	recon := e.Vectors.Mul(d).Mul(e.Vectors.T())
+	if diff := recon.Sub(a).FrobeniusNorm(); diff > 1e-8 {
+		t.Fatalf("reconstruction error = %v", diff)
+	}
+}
+
+func TestSymEigenVectorsOrthonormal(t *testing.T) {
+	g := randx.New(10)
+	a := randomSymmetric(8, []float64{9, 7, 5, 4, 3, 2, 1, 0.5}, g)
+	e := SymEigen(a)
+	gram := e.Vectors.T().Mul(e.Vectors)
+	if diff := gram.Sub(Identity(8)).FrobeniusNorm(); diff > 1e-8 {
+		t.Fatalf("VᵀV deviates from identity by %v", diff)
+	}
+}
+
+func TestTopKMatchesFullEigen(t *testing.T) {
+	g := randx.New(11)
+	eig := []float64{20, 12, 6, 1, 0.5, 0.2, 0.1, 0.05}
+	a := randomSymmetric(8, eig, g)
+	v := TopK(a, 3, g, 100)
+	if v.Rows != 8 || v.Cols != 3 {
+		t.Fatalf("shape = %dx%d", v.Rows, v.Cols)
+	}
+	// Captured variance Tr(Vᵀ A V) should match the sum of the top-3
+	// eigenvalues.
+	captured := v.T().Mul(a).Mul(v).Trace()
+	want := 20.0 + 12 + 6
+	if math.Abs(captured-want) > 1e-6*want {
+		t.Fatalf("captured = %v, want %v", captured, want)
+	}
+}
+
+func TestTopKWithDominantNegativeEigenvalue(t *testing.T) {
+	// Largest |eig| is negative; TopK must still return the largest
+	// *algebraic* directions, as PCA requires.
+	g := randx.New(12)
+	eig := []float64{5, 3, 1, -0.5, -40}
+	a := randomSymmetric(5, eig, g)
+	v := TopK(a, 2, g, 200)
+	captured := v.T().Mul(a).Mul(v).Trace()
+	if math.Abs(captured-8) > 1e-5*8 {
+		t.Fatalf("captured = %v, want 8", captured)
+	}
+}
+
+func TestTopKOrthonormal(t *testing.T) {
+	g := randx.New(13)
+	a := randomSymmetric(10, []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, g)
+	v := TopK(a, 4, g, 60)
+	gram := v.T().Mul(v)
+	if diff := gram.Sub(Identity(4)).FrobeniusNorm(); diff > 1e-9 {
+		t.Fatalf("VᵀV deviates from identity by %v", diff)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	g := randx.New(14)
+	a := randomSymmetric(4, []float64{4, 3, 2, 1}, g)
+	if v := TopK(a, 0, g, 10); v.Cols != 0 {
+		t.Fatal("k=0 should give zero columns")
+	}
+	if v := TopK(a, 9, g, 50); v.Cols != 4 {
+		t.Fatalf("k>n should clamp to n, got %d", v.Cols)
+	}
+}
+
+func TestSpectralNorm(t *testing.T) {
+	g := randx.New(15)
+	a := randomSymmetric(6, []float64{-7, 3, 2, 1, 0.5, 0.1}, g)
+	// Spectral norm is max |eig| = 7.
+	if got := SpectralNorm(a, g); math.Abs(got-7) > 1e-4 {
+		t.Fatalf("SpectralNorm = %v, want 7", got)
+	}
+	// Rectangular case: diag-like singular values.
+	b := FromRows([][]float64{{3, 0, 0}, {0, 4, 0}})
+	if got := SpectralNorm(b, g); math.Abs(got-4) > 1e-5 {
+		t.Fatalf("SpectralNorm = %v, want 4", got)
+	}
+	if got := SpectralNorm(NewMatrix(0, 3), g); got != 0 {
+		t.Fatalf("empty SpectralNorm = %v", got)
+	}
+}
+
+func TestProjectPSD(t *testing.T) {
+	g := randx.New(16)
+	a := randomSymmetric(6, []float64{5, 3, 1, -0.5, -2, -4}, g)
+	p := ProjectPSD(a)
+	// All eigenvalues of the projection are non-negative, positives kept.
+	e := SymEigen(p)
+	for i, v := range e.Values {
+		if v < -1e-9 {
+			t.Fatalf("eigenvalue %d = %v still negative", i, v)
+		}
+	}
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if math.Abs(e.Values[i]-w) > 1e-8 {
+			t.Fatalf("positive eigenvalue %d = %v, want %v", i, e.Values[i], w)
+		}
+	}
+	// Idempotent on an already-PSD matrix.
+	b := randomSymmetric(4, []float64{4, 2, 1, 0.5}, g)
+	if diff := ProjectPSD(b).Sub(b).FrobeniusNorm(); diff > 1e-8 {
+		t.Fatalf("PSD input changed by %v", diff)
+	}
+}
+
+func TestOrthonormalizeRankDeficient(t *testing.T) {
+	// Two identical columns: second must be replaced, output orthonormal.
+	q := FromRows([][]float64{{1, 1}, {0, 0}, {0, 0}})
+	orthonormalize(q)
+	gram := q.T().Mul(q)
+	if diff := gram.Sub(Identity(2)).FrobeniusNorm(); diff > 1e-9 {
+		t.Fatalf("orthonormalize failed on rank-deficient input: %v", diff)
+	}
+}
+
+func BenchmarkGram200x100(b *testing.B) {
+	g := randx.New(1)
+	m := NewMatrix(200, 100)
+	for i := range m.Data {
+		m.Data[i] = g.Gaussian(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Gram()
+	}
+}
+
+func BenchmarkSymEigen50(b *testing.B) {
+	g := randx.New(1)
+	eig := make([]float64, 50)
+	for i := range eig {
+		eig[i] = float64(50 - i)
+	}
+	a := randomSymmetric(50, eig, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SymEigen(a)
+	}
+}
+
+func BenchmarkTopK200(b *testing.B) {
+	g := randx.New(1)
+	eig := make([]float64, 200)
+	for i := range eig {
+		eig[i] = 1 / float64(i+1)
+	}
+	a := randomSymmetric(200, eig, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(a, 5, g, 30)
+	}
+}

@@ -1,0 +1,297 @@
+// Package linalg implements the dense linear algebra needed by the SQM
+// applications: matrix products, Gram matrices, Frobenius/spectral norms,
+// a Jacobi symmetric eigensolver, and top-k subspace iteration for the
+// principal-component experiments. It is written against the standard
+// library only and stores matrices row-major.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a mutable slice view.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	c := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		c[i] = m.At(i, j)
+	}
+	return c
+}
+
+// SetCol assigns column j from v.
+func (m *Matrix) SetCol(j int, v []float64) {
+	if len(v) != m.Rows {
+		panic("linalg: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, j, v[i])
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	r := m.Clone()
+	for i, v := range o.Data {
+		r.Data[i] += v
+	}
+	return r
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	r := m.Clone()
+	for i, v := range o.Data {
+		r.Data[i] -= v
+	}
+	return r
+}
+
+// Scale returns s * m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	r := m.Clone()
+	for i := range r.Data {
+		r.Data[i] *= s
+	}
+	return r
+}
+
+// Mul returns the matrix product m * o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	r := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		ri := r.Row(i)
+		for k, a := range mi {
+			if a == 0 {
+				continue
+			}
+			ok := o.Data[k*o.Cols : (k+1)*o.Cols]
+			for j, b := range ok {
+				ri[j] += a * b
+			}
+		}
+	}
+	return r
+}
+
+// Gram returns the Gram matrix mᵀm (the covariance-style product used by
+// the PCA instantiation).
+func (m *Matrix) Gram() *Matrix {
+	g := NewMatrix(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a, va := range row {
+			if va == 0 {
+				continue
+			}
+			ga := g.Row(a)
+			for b := a; b < len(row); b++ {
+				ga[b] += va * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for a := 0; a < g.Rows; a++ {
+		for b := a + 1; b < g.Cols; b++ {
+			g.Set(b, a, g.At(a, b))
+		}
+	}
+	return g
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("linalg: MulVec length mismatch")
+	}
+	r := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		r[i] = Dot(m.Row(i), v)
+	}
+	return r
+}
+
+// FrobeniusNorm returns sqrt(Σ m[i,j]^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// FrobeniusNormSq returns Σ m[i,j]^2, the utility metric ‖·‖_F² of the
+// paper's PCA experiments.
+func (m *Matrix) FrobeniusNormSq() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return s
+}
+
+// Trace returns Σ m[i,i]; panics unless square.
+func (m *Matrix) Trace() float64 {
+	m.mustSquare()
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.At(i, i)
+	}
+	return s
+}
+
+// IsSymmetric reports whether |m[i,j]-m[j,i]| <= tol for all entries.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbs returns max |m[i,j]| (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+func (m *Matrix) mustSameShape(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("linalg: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+func (m *Matrix) mustSquare() {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("linalg: %dx%d matrix is not square", m.Rows, m.Cols))
+	}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec computes v *= a in place.
+func ScaleVec(a float64, v []float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// ClipNorm rescales v in place so that ‖v‖₂ <= c, returning the factor
+// applied (1 if no clipping occurred). c must be positive.
+func ClipNorm(v []float64, c float64) float64 {
+	n := Norm2(v)
+	if n <= c || n == 0 {
+		return 1
+	}
+	f := c / n
+	ScaleVec(f, v)
+	return f
+}

@@ -1,0 +1,243 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sqm/internal/randx"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+	if got := m.Col(0); got[0] != 1 || got[1] != 4 {
+		t.Fatalf("Col(0) = %v", got)
+	}
+	row := m.Row(1)
+	row[0] = 40
+	if m.At(1, 0) != 40 {
+		t.Fatal("Row must be a mutable view")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T()
+	if tt.Rows != 3 || tt.Cols != 2 {
+		t.Fatalf("shape = %dx%d", tt.Rows, tt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tt.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	// (Mᵀ)ᵀ == M
+	back := tt.T()
+	for i, v := range m.Data {
+		if back.Data[i] != v {
+			t.Fatal("double transpose is not identity")
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	s := a.Add(b)
+	if s.At(0, 0) != 6 || s.At(1, 1) != 12 {
+		t.Fatalf("Add = %v", s.Data)
+	}
+	d := b.Sub(a)
+	if d.At(0, 0) != 4 || d.At(1, 1) != 4 {
+		t.Fatalf("Sub = %v", d.Data)
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatalf("Scale = %v", sc.Data)
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 5 {
+		t.Fatal("operations must not mutate operands")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randx.New(seed)
+		n := 1 + g.IntN(6)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = g.Gaussian(0, 1)
+		}
+		p := m.Mul(Identity(n))
+		for i := range m.Data {
+			if p.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramMatchesExplicitProduct(t *testing.T) {
+	g := randx.New(3)
+	m := NewMatrix(7, 5)
+	for i := range m.Data {
+		m.Data[i] = g.Gaussian(0, 1)
+	}
+	gram := m.Gram()
+	want := m.T().Mul(m)
+	for i := range want.Data {
+		if !approx(gram.Data[i], want.Data[i], 1e-10) {
+			t.Fatalf("Gram mismatch at %d: %v vs %v", i, gram.Data[i], want.Data[i])
+		}
+	}
+	if !gram.IsSymmetric(0) {
+		t.Fatal("Gram matrix must be exactly symmetric")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := m.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestFrobeniusAndTrace(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.FrobeniusNorm(); !approx(got, 5, 1e-12) {
+		t.Fatalf("Frobenius = %v", got)
+	}
+	if got := m.FrobeniusNormSq(); !approx(got, 25, 1e-12) {
+		t.Fatalf("FrobeniusSq = %v", got)
+	}
+	if got := m.Trace(); got != 7 {
+		t.Fatalf("Trace = %v", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-9, 2}, {3, 4}})
+	if got := m.MaxAbs(); got != 9 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+	if got := NewMatrix(0, 0).MaxAbs(); got != 0 {
+		t.Fatalf("empty MaxAbs = %v", got)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !FromRows([][]float64{{1, 2}, {2, 1}}).IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	if FromRows([][]float64{{1, 2}, {3, 1}}).IsSymmetric(0.5) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); !approx(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	y := []float64{1, 1, 1}
+	Axpy(2, a, y)
+	if y[2] != 7 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	ScaleVec(0.5, y)
+	if y[2] != 3.5 {
+		t.Fatalf("ScaleVec = %v", y)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	v := []float64{3, 4}
+	f := ClipNorm(v, 1)
+	if !approx(Norm2(v), 1, 1e-12) {
+		t.Fatalf("clipped norm = %v", Norm2(v))
+	}
+	if !approx(f, 0.2, 1e-12) {
+		t.Fatalf("factor = %v", f)
+	}
+	w := []float64{0.3, 0.4}
+	if f := ClipNorm(w, 1); f != 1 || w[0] != 0.3 {
+		t.Fatal("ClipNorm must not change short vectors")
+	}
+	z := []float64{0, 0}
+	if f := ClipNorm(z, 1); f != 1 {
+		t.Fatal("ClipNorm of zero vector")
+	}
+}
+
+func TestSetColLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(3, 2).SetCol(0, []float64{1})
+}

@@ -1,0 +1,100 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/randx"
+)
+
+func spdMatrix(n int, seed uint64) *Matrix {
+	g := randx.New(seed)
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = g.Gaussian(0, 1)
+	}
+	return b.T().Mul(b).AddDiagonal(float64(n)) // strictly SPD
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	a := spdMatrix(8, 1)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := l.Mul(l.T())
+	if diff := recon.Sub(a).FrobeniusNorm(); diff > 1e-9*a.FrobeniusNorm() {
+		t.Fatalf("L·Lᵀ off by %v", diff)
+	}
+	// Lower triangular.
+	for i := 0; i < l.Rows; i++ {
+		for j := i + 1; j < l.Cols; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatal("L is not lower triangular")
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSolveSPDKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual.
+	r := a.MulVec(x)
+	for i := range b {
+		if math.Abs(r[i]-b[i]) > 1e-12 {
+			t.Fatalf("residual at %d: %v", i, r[i]-b[i])
+		}
+	}
+}
+
+func TestSolveSPDRandomSystems(t *testing.T) {
+	g := randx.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + g.IntN(12)
+		a := spdMatrix(n, uint64(trial+10))
+		want := g.GaussianVec(n, 1)
+		b := a.MulVec(want)
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAddDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.AddDiagonal(10)
+	if b.At(0, 0) != 11 || b.At(1, 1) != 14 || b.At(0, 1) != 2 {
+		t.Fatalf("AddDiagonal = %v", b.Data)
+	}
+	if a.At(0, 0) != 1 {
+		t.Fatal("AddDiagonal must not mutate")
+	}
+}
+
+func BenchmarkCholesky50(b *testing.B) {
+	a := spdMatrix(50, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sparse is a compressed-sparse-row matrix. It exists for the
+// high-dimensional sparse datasets (CiteSeer-style bags of words) where
+// the Gram matrix costs Σ_i nnz(row_i)² instead of n²·m.
+type Sparse struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColIdx     []int // len NNZ
+	Val        []float64
+}
+
+// SparseFromDense compresses a dense matrix, dropping entries with
+// |v| <= tol.
+func SparseFromDense(m *Matrix, tol float64) *Sparse {
+	s := &Sparse{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			if math.Abs(v) > tol {
+				s.ColIdx = append(s.ColIdx, j)
+				s.Val = append(s.Val, v)
+			}
+		}
+		s.RowPtr[i+1] = len(s.Val)
+	}
+	return s
+}
+
+// NNZ returns the stored entry count.
+func (s *Sparse) NNZ() int { return len(s.Val) }
+
+// ToDense expands back to a dense matrix.
+func (s *Sparse) ToDense() *Matrix {
+	m := NewMatrix(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		row := m.Row(i)
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			row[s.ColIdx[p]] = s.Val[p]
+		}
+	}
+	return m
+}
+
+// RowNNZ returns the stored entries of row i as (columns, values)
+// views.
+func (s *Sparse) RowNNZ(i int) ([]int, []float64) {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	return s.ColIdx[lo:hi], s.Val[lo:hi]
+}
+
+// MulVec returns s·v.
+func (s *Sparse) MulVec(v []float64) []float64 {
+	if len(v) != s.Cols {
+		panic(fmt.Sprintf("linalg: Sparse.MulVec length %d != %d", len(v), s.Cols))
+	}
+	out := make([]float64, s.Rows)
+	for i := 0; i < s.Rows; i++ {
+		var acc float64
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			acc += s.Val[p] * v[s.ColIdx[p]]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Gram returns sᵀs as a dense matrix, accumulating one outer product
+// per row: O(Σ_i nnz_i²) instead of the dense O(m·n²).
+func (s *Sparse) Gram() *Matrix {
+	g := NewMatrix(s.Cols, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		cols, vals := s.RowNNZ(i)
+		for a, ca := range cols {
+			va := vals[a]
+			ga := g.Row(ca)
+			for b := a; b < len(cols); b++ {
+				ga[cols[b]] += va * vals[b]
+			}
+		}
+	}
+	for a := 0; a < g.Rows; a++ {
+		for b := a + 1; b < g.Cols; b++ {
+			g.Set(b, a, g.At(a, b))
+		}
+	}
+	return g
+}
+
+// FrobeniusNormSq returns Σ v².
+func (s *Sparse) FrobeniusNormSq() float64 {
+	var acc float64
+	for _, v := range s.Val {
+		acc += v * v
+	}
+	return acc
+}
+
+// TMulVec returns sᵀ·v (length Cols).
+func (s *Sparse) TMulVec(v []float64) []float64 {
+	if len(v) != s.Rows {
+		panic(fmt.Sprintf("linalg: Sparse.TMulVec length %d != %d", len(v), s.Rows))
+	}
+	out := make([]float64, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			out[s.ColIdx[p]] += s.Val[p] * vi
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/randx"
+)
+
+// sparseTestMatrix builds a dense matrix with controlled sparsity.
+func sparseTestMatrix(rows, cols int, density float64, seed uint64) *Matrix {
+	g := randx.New(seed)
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		if g.Bernoulli(density) {
+			m.Data[i] = g.Gaussian(0, 1)
+		}
+	}
+	return m
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	m := sparseTestMatrix(20, 15, 0.2, 1)
+	s := SparseFromDense(m, 0)
+	back := s.ToDense()
+	for i := range m.Data {
+		if back.Data[i] != m.Data[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+	if s.Rows != 20 || s.Cols != 15 {
+		t.Fatal("shape")
+	}
+}
+
+func TestSparseNNZAndTolerance(t *testing.T) {
+	m := FromRows([][]float64{{0, 1e-12, 2}, {3, 0, 1e-9}})
+	s := SparseFromDense(m, 1e-10)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (tiny entries dropped)", s.NNZ())
+	}
+}
+
+func TestSparseMulVecMatchesDense(t *testing.T) {
+	m := sparseTestMatrix(30, 12, 0.3, 2)
+	s := SparseFromDense(m, 0)
+	g := randx.New(3)
+	v := g.GaussianVec(12, 1)
+	want := m.MulVec(v)
+	got := s.MulVec(v)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSparseTMulVecMatchesDense(t *testing.T) {
+	m := sparseTestMatrix(25, 10, 0.25, 4)
+	s := SparseFromDense(m, 0)
+	g := randx.New(5)
+	v := g.GaussianVec(25, 1)
+	want := m.T().MulVec(v)
+	got := s.TMulVec(v)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("TMulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSparseGramMatchesDense(t *testing.T) {
+	m := sparseTestMatrix(40, 18, 0.15, 6)
+	s := SparseFromDense(m, 0)
+	want := m.Gram()
+	got := s.Gram()
+	if diff := got.Sub(want).MaxAbs(); diff > 1e-10 {
+		t.Fatalf("Gram differs by %v", diff)
+	}
+	if !got.IsSymmetric(0) {
+		t.Fatal("sparse Gram must be symmetric")
+	}
+}
+
+func TestSparseFrobenius(t *testing.T) {
+	m := sparseTestMatrix(10, 10, 0.5, 7)
+	s := SparseFromDense(m, 0)
+	if math.Abs(s.FrobeniusNormSq()-m.FrobeniusNormSq()) > 1e-12 {
+		t.Fatal("Frobenius mismatch")
+	}
+}
+
+func TestSparseMulVecLengthPanics(t *testing.T) {
+	s := SparseFromDense(NewMatrix(2, 3), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.MulVec([]float64{1})
+}
+
+func TestSparseEmptyRows(t *testing.T) {
+	m := NewMatrix(3, 4) // all zero
+	s := SparseFromDense(m, 0)
+	if s.NNZ() != 0 {
+		t.Fatal("zero matrix must have no entries")
+	}
+	g := s.Gram()
+	if g.FrobeniusNorm() != 0 {
+		t.Fatal("Gram of zero matrix")
+	}
+}
+
+func BenchmarkSparseGramVsDense(b *testing.B) {
+	// 2000 x 1000 at 1% density: sparse Gram should be far cheaper.
+	m := sparseTestMatrix(2000, 1000, 0.01, 8)
+	s := SparseFromDense(m, 0)
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Gram()
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Gram()
+		}
+	})
+}

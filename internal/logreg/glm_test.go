@@ -1,0 +1,120 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/approx"
+	"sqm/internal/linalg"
+)
+
+func TestGLMGradientPolyMatchesDirectEvaluation(t *testing.T) {
+	link, err := approx.SigmoidTaylor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 3
+	w := []float64{0.4, -0.2, 0.3}
+	f, err := glmGradientPoly(link, w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars() != d+1 || f.OutDim() != d {
+		t.Fatalf("shape: vars=%d dims=%d", f.NumVars(), f.OutDim())
+	}
+	if f.Degree() != 4 { // link degree 3 times x_t
+		t.Fatalf("degree = %d, want 4", f.Degree())
+	}
+	// Evaluate against the direct formula on a few records.
+	records := [][]float64{
+		{0.5, -0.3, 0.2, 1},
+		{-0.1, 0.7, 0.4, 0},
+	}
+	for _, rec := range records {
+		x, y := rec[:d], rec[d]
+		s := linalg.Dot(w, x)
+		u := link.Eval(s) - y
+		got := f.Eval(rec)
+		for tdim := 0; tdim < d; tdim++ {
+			want := u * x[tdim]
+			if math.Abs(got[tdim]-want) > 1e-12 {
+				t.Fatalf("dim %d: %v, want %v", tdim, got[tdim], want)
+			}
+		}
+	}
+}
+
+func TestGLMValidation(t *testing.T) {
+	link, _ := approx.SigmoidTaylor(1)
+	x := linalg.NewMatrix(4, 2)
+	y := []float64{0, 1, 0, 1}
+	if _, err := TrainGLM(link, x, y[:2], Config{Eps: 1, Delta: 1e-5, Gamma: 64, Epochs: 1, SampleRate: 0.5}); err == nil {
+		t.Fatal("row/label mismatch must be rejected")
+	}
+	constant := &approx.Poly1{Coefs: []float64{0.5}}
+	if _, err := TrainGLM(constant, x, y, Config{Eps: 1, Delta: 1e-5, Gamma: 64, Epochs: 1, SampleRate: 0.5}); err == nil {
+		t.Fatal("degree-0 link must be rejected")
+	}
+}
+
+func TestGLMGeneralityPremium(t *testing.T) {
+	// link = ½ + u/4 is the specialized order-1 trainer's polynomial.
+	// The generic path bounds every expanded monomial individually, so
+	// its calibrated noise is a constant factor above Lemma 7's — it
+	// must still learn at a generous budget, just behind the
+	// specialized trainer.
+	ds := smallTask(t, 800, 400, 12, 21)
+	link, err := approx.SigmoidTaylor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Eps: 16, Delta: 1e-5, Gamma: 1024, Epochs: 3, SampleRate: 0.02, Seed: 22}
+	glm, err := TrainGLM(link, ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accGLM := Accuracy(glm, ds.TestX, ds.TestLabels)
+	spec, err := TrainSQM(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSpec := Accuracy(spec, ds.TestX, ds.TestLabels)
+	if accGLM < 0.58 {
+		t.Fatalf("GLM accuracy %v barely above chance at eps=16", accGLM)
+	}
+	if accGLM > accSpec+0.05 {
+		t.Fatalf("generic path %v should not beat the specialized trainer %v", accGLM, accSpec)
+	}
+}
+
+func TestGLMWithChebyshevLink(t *testing.T) {
+	// A Chebyshev sigmoid on [-1, 1] of degree 2: the framework accepts
+	// any polynomial link, not just Taylor ones.
+	link, err := approx.Chebyshev(approx.Sigmoid, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := smallTask(t, 600, 300, 8, 23)
+	cfg := Config{Eps: 8, Delta: 1e-5, Gamma: 512, Epochs: 2, SampleRate: 0.03, Seed: 24}
+	m, err := TrainGLM(link, ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, ds.TestX, ds.TestLabels); acc < 0.55 {
+		t.Fatalf("Chebyshev-link GLM accuracy %v", acc)
+	}
+}
+
+func TestGLMRejectsInfeasibleGamma(t *testing.T) {
+	// Degree-3 link at a huge gamma: the γ^{H+2} amplification breaks
+	// the field bound and must surface as an error, not wraparound.
+	link, err := approx.SigmoidTaylor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := smallTask(t, 100, 50, 6, 25)
+	cfg := Config{Eps: 1, Delta: 1e-5, Gamma: 1 << 13, Epochs: 1, SampleRate: 0.2, Seed: 26}
+	if _, err := TrainGLM(link, ds.X, ds.Labels, cfg); err == nil {
+		t.Fatal("expected calibration or field-bound error at gamma=2^13, degree 4")
+	}
+}

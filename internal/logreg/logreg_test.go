@@ -1,0 +1,317 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/dataset"
+	"sqm/internal/linalg"
+)
+
+// smallTask builds a quick learnable task.
+func smallTask(t *testing.T, mTrain, mTest, d int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.ACSIncomeLike("CA", mTrain, mTest, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestConfigValidation(t *testing.T) {
+	x := linalg.NewMatrix(4, 2)
+	y := []float64{0, 1, 0, 1}
+	if _, err := TrainDPSGD(x, y, Config{Eps: 1, Delta: 1e-5, Epochs: 0, SampleRate: 0.1}); err == nil {
+		t.Fatal("epochs=0 must be rejected")
+	}
+	if _, err := TrainDPSGD(x, y, Config{Eps: 1, Delta: 1e-5, Epochs: 1, SampleRate: 0}); err == nil {
+		t.Fatal("q=0 must be rejected")
+	}
+	if _, err := TrainDPSGD(x, y, Config{Eps: 1, Delta: 1e-5, Epochs: 1, SampleRate: 0.5, LearnRate: -1}); err == nil {
+		t.Fatal("negative learning rate must be rejected")
+	}
+	if _, err := TrainDPSGD(x, y[:2], Config{Eps: 1, Delta: 1e-5, Epochs: 1, SampleRate: 0.5}); err == nil {
+		t.Fatal("row/label mismatch must be rejected")
+	}
+}
+
+func TestRounds(t *testing.T) {
+	c := Config{Epochs: 5, SampleRate: 0.001}
+	if got := c.Rounds(); got != 5000 {
+		t.Fatalf("Rounds = %d, want 5000", got)
+	}
+	c = Config{Epochs: 1, SampleRate: 1}
+	if got := c.Rounds(); got != 1 {
+		t.Fatalf("Rounds = %d, want 1", got)
+	}
+}
+
+func TestModelBasics(t *testing.T) {
+	m := &Model{W: []float64{1, -1}}
+	if p := m.PredictProb([]float64{0, 0}); p != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", p)
+	}
+	x := linalg.FromRows([][]float64{{1, 0}, {0, 1}})
+	y := []float64{1, 0}
+	if acc := Accuracy(m, x, y); acc != 1 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if l := Loss(m, x, y); l <= 0 || math.IsInf(l, 0) {
+		t.Fatalf("loss = %v", l)
+	}
+	if acc := Accuracy(m, linalg.NewMatrix(0, 2), nil); acc != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAUCPerfectAndRandomRankings(t *testing.T) {
+	x := linalg.FromRows([][]float64{{1}, {2}, {-1}, {-2}})
+	y := []float64{1, 1, 0, 0}
+	perfect := &Model{W: []float64{1}} // scores order positives above negatives
+	if got := AUC(perfect, x, y); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	inverted := &Model{W: []float64{-1}}
+	if got := AUC(inverted, x, y); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	constant := &Model{W: []float64{0}} // all scores tied
+	if got := AUC(constant, x, y); got != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+	// Degenerate class balance.
+	if got := AUC(perfect, x, []float64{1, 1, 1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v", got)
+	}
+}
+
+func TestAUCOnLearnedModel(t *testing.T) {
+	ds := smallTask(t, 1000, 600, 20, 27)
+	m := TrainNonPrivate(ds.X, ds.Labels, 28)
+	auc := AUC(m, ds.TestX, ds.TestLabels)
+	acc := Accuracy(m, ds.TestX, ds.TestLabels)
+	if auc < acc-0.05 {
+		t.Fatalf("AUC %v implausibly below accuracy %v", auc, acc)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC = %v for a learnable task", auc)
+	}
+}
+
+func TestSensitivitiesLemma7(t *testing.T) {
+	gamma, d := 16.0, 10
+	d2, d1 := Sensitivities(gamma, d)
+	g3 := gamma * gamma * gamma
+	want := math.Sqrt(0.75*0.75*g3*g3 + 9*math.Pow(gamma, 5)*float64(d) + 36*math.Pow(gamma, 4))
+	if math.Abs(d2-want) > 1e-9 {
+		t.Fatalf("Delta2 = %v, want %v", d2, want)
+	}
+	if d1 != math.Min(d2*d2, math.Sqrt(10)*d2) {
+		t.Fatalf("Delta1 = %v", d1)
+	}
+}
+
+func TestSensitivityOverheadVanishes(t *testing.T) {
+	prev := math.Inf(1)
+	for _, gamma := range []float64{64, 1024, 65536} {
+		o := SensitivityOverhead(gamma, 800)
+		if o <= 0 || o >= prev {
+			t.Fatalf("overhead %v not strictly decreasing (prev %v)", o, prev)
+		}
+		prev = o
+	}
+	if prev > 0.1 {
+		t.Fatalf("overhead at gamma=65536 still %v", prev)
+	}
+}
+
+func TestNoiseStdApproachesGaussianWithGamma(t *testing.T) {
+	// Figure 4's second panel: the SQM noise std (normalized) decreases
+	// toward the centralized Gaussian sigma as gamma grows.
+	d := 100
+	cfgAt := func(gamma float64) Config {
+		return Config{Eps: 1, Delta: 1e-5, Gamma: gamma, Epochs: 5, SampleRate: 0.01}
+	}
+	prev := math.Inf(1)
+	var stds []float64
+	for _, gamma := range []float64{64, 1024, 16384} {
+		mu, err := CalibrateMu(cfgAt(gamma), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std := NoiseStdUnscaled(mu, gamma)
+		if std >= prev {
+			t.Fatalf("gamma=%v: noise std %v did not shrink (prev %v)", gamma, std, prev)
+		}
+		prev = std
+		stds = append(stds, std)
+	}
+	// And the last value is within a small factor of the ideal ¾-sensitivity
+	// Gaussian at the same privacy budget.
+	sigma, err := centralSigmaFor(cfgAt(16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stds[2] > 1.5*sigma {
+		t.Fatalf("converged SQM noise %v too far above Gaussian %v", stds[2], sigma)
+	}
+}
+
+func centralSigmaFor(cfg Config) (float64, error) {
+	if err := cfg.normalize(); err != nil {
+		return 0, err
+	}
+	return calibrateCentral(cfg)
+}
+
+func TestClientEpsilonAboveServerTarget(t *testing.T) {
+	cfg := Config{Eps: 1, Delta: 1e-5, Gamma: 1024, Epochs: 2, SampleRate: 0.01}
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	mu, err := CalibrateMu(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEps, alpha := ClientEpsilon(cfg, 50, mu, 51)
+	if cEps <= cfg.Eps {
+		t.Fatalf("client eps %v must exceed server target %v (no subsampling amplification for clients)", cEps, cfg.Eps)
+	}
+	if alpha < 2 {
+		t.Fatalf("alpha = %d", alpha)
+	}
+}
+
+func TestTrainNonPrivateLearns(t *testing.T) {
+	ds := smallTask(t, 1500, 800, 30, 1)
+	m := TrainNonPrivate(ds.X, ds.Labels, 2)
+	acc := Accuracy(m, ds.TestX, ds.TestLabels)
+	if acc < 0.68 {
+		t.Fatalf("non-private accuracy = %v, want >= 0.68", acc)
+	}
+	if n := linalg.Norm2(m.W); n > 1+1e-9 {
+		t.Fatalf("weights escaped the unit ball: %v", n)
+	}
+}
+
+func TestTrainDPSGDLearnsAtModerateEps(t *testing.T) {
+	ds := smallTask(t, 1500, 800, 30, 3)
+	cfg := Config{Eps: 4, Delta: 1e-5, Epochs: 5, SampleRate: 0.01, Seed: 4}
+	m, err := TrainDPSGD(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(m, ds.TestX, ds.TestLabels)
+	nonpriv := Accuracy(TrainNonPrivate(ds.X, ds.Labels, 4), ds.TestX, ds.TestLabels)
+	if acc < nonpriv-0.12 {
+		t.Fatalf("DPSGD accuracy %v too far below non-private %v", acc, nonpriv)
+	}
+}
+
+func TestTrainSQMLearnsAndTracksDPSGD(t *testing.T) {
+	// The paper's Figure 3 claim at a comfortable budget: SQM with a
+	// large gamma is close to centralized DPSGD.
+	ds := smallTask(t, 1500, 800, 30, 5)
+	cfg := Config{Eps: 8, Delta: 1e-5, Gamma: 8192, Epochs: 5, SampleRate: 0.01, Seed: 6}
+	sqm, err := TrainSQM(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSQM := Accuracy(sqm, ds.TestX, ds.TestLabels)
+	dpsgd, err := TrainDPSGD(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accDP := Accuracy(dpsgd, ds.TestX, ds.TestLabels)
+	if accSQM < accDP-0.08 {
+		t.Fatalf("SQM %v too far below DPSGD %v at eps=8", accSQM, accDP)
+	}
+	if n := linalg.Norm2(sqm.W); n > 1+1e-9 {
+		t.Fatalf("SQM weights escaped the unit ball: %v", n)
+	}
+}
+
+func TestTrainSQMBeatsLocalBaseline(t *testing.T) {
+	ds := smallTask(t, 1500, 800, 30, 7)
+	cfg := Config{Eps: 2, Delta: 1e-5, Gamma: 4096, Epochs: 5, SampleRate: 0.01, Seed: 8}
+	sqm, err := TrainSQM(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := TrainLocal(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSQM := Accuracy(sqm, ds.TestX, ds.TestLabels)
+	accLocal := Accuracy(local, ds.TestX, ds.TestLabels)
+	if accSQM <= accLocal-0.02 {
+		t.Fatalf("SQM %v should not lose to local DP %v", accSQM, accLocal)
+	}
+}
+
+func TestApproxPolyCloseToDPSGD(t *testing.T) {
+	// Figure 5: the Taylor approximation costs almost nothing.
+	ds := smallTask(t, 1500, 800, 30, 9)
+	cfg := Config{Eps: 4, Delta: 1e-5, Epochs: 5, SampleRate: 0.01, Seed: 10}
+	a, err := TrainApproxPoly(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainDPSGD(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := math.Abs(Accuracy(a, ds.TestX, ds.TestLabels) - Accuracy(b, ds.TestX, ds.TestLabels))
+	if gap > 0.07 {
+		t.Fatalf("Approx-Poly gap = %v, paper reports < 0.05", gap)
+	}
+}
+
+func TestTrainSQMOrder3Learns(t *testing.T) {
+	// The order-3 Taylor trainer must roughly match order 1 at the same
+	// budget (the paper observes H=1 already suffices for LR).
+	ds := smallTask(t, 1500, 800, 30, 13)
+	cfg := Config{Eps: 8, Delta: 1e-5, Gamma: 256, Epochs: 5, SampleRate: 0.01, Seed: 14}
+	m3, err := TrainSQMOrder3(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc3 := Accuracy(m3, ds.TestX, ds.TestLabels)
+	m1, err := TrainSQM(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc1 := Accuracy(m1, ds.TestX, ds.TestLabels)
+	if acc3 < acc1-0.1 {
+		t.Fatalf("order-3 accuracy %v too far below order-1 %v", acc3, acc1)
+	}
+	if acc3 < 0.55 {
+		t.Fatalf("order-3 accuracy %v barely above chance", acc3)
+	}
+}
+
+func TestTrainSQMOrder3RejectsHugeGamma(t *testing.T) {
+	ds := smallTask(t, 100, 50, 10, 15)
+	cfg := Config{Eps: 1, Delta: 1e-5, Gamma: 1 << 12, Epochs: 1, SampleRate: 0.1, Seed: 16}
+	if _, err := TrainSQMOrder3(ds.X, ds.Labels, cfg); err == nil {
+		t.Fatal("gamma=2^12 must overflow the field for order 3")
+	}
+}
+
+func TestTrainSQMDeterministicBySeed(t *testing.T) {
+	ds := smallTask(t, 300, 100, 10, 11)
+	cfg := Config{Eps: 4, Delta: 1e-5, Gamma: 1024, Epochs: 2, SampleRate: 0.05, Seed: 12}
+	a, err := TrainSQM(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainSQM(ds.X, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.W {
+		if a.W[j] != b.W[j] {
+			t.Fatal("same seed must reproduce the model")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package marginal
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/core"
+	"sqm/internal/linalg"
+	"sqm/internal/randx"
+)
+
+// binaryData draws correlated binary columns.
+func binaryData(m, n int, seed uint64) *linalg.Matrix {
+	g := randx.New(seed)
+	x := linalg.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		base := g.Bernoulli(0.5)
+		for j := 0; j < n; j++ {
+			p := 0.2
+			if base && j%2 == 0 {
+				p = 0.7
+			}
+			if g.Bernoulli(p) {
+				x.Set(i, j, 1)
+			}
+		}
+	}
+	return x
+}
+
+func TestQueryValidation(t *testing.T) {
+	x := binaryData(10, 4, 1)
+	if _, err := Answer(x, nil, 1, 1e-5, 64, core.Params{}); err == nil {
+		t.Fatal("empty workload must be rejected")
+	}
+	if _, err := Answer(x, []Query{{Attrs: []int{0, 9}}}, 1, 1e-5, 64, core.Params{}); err == nil {
+		t.Fatal("out-of-range attribute must be rejected")
+	}
+	if _, err := Answer(x, []Query{{Attrs: []int{0, 0}}}, 1, 1e-5, 64, core.Params{}); err == nil {
+		t.Fatal("repeated attribute must be rejected")
+	}
+	if _, err := Answer(x, []Query{{}}, 1, 1e-5, 64, core.Params{}); err == nil {
+		t.Fatal("empty query must be rejected")
+	}
+	bad := x.Clone()
+	bad.Set(0, 0, 0.5)
+	if _, err := Answer(bad, []Query{{Attrs: []int{0}}}, 1, 1e-5, 64, core.Params{}); err == nil {
+		t.Fatal("non-binary data must be rejected")
+	}
+}
+
+func TestTrueCounts(t *testing.T) {
+	x := linalg.FromRows([][]float64{
+		{1, 1, 0},
+		{1, 0, 1},
+		{1, 1, 1},
+		{0, 1, 1},
+	})
+	got, err := TrueCounts(x, []Query{
+		{Attrs: []int{0}},
+		{Attrs: []int{0, 1}},
+		{Attrs: []int{0, 1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TrueCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAnswerAccurateAtLargeEps(t *testing.T) {
+	x := binaryData(20000, 6, 2)
+	queries := append(AllPairs(4), Query{Attrs: []int{0, 2, 4}}) // mixed degrees 2 and 3
+	truth, err := TrueCounts(x, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Answer(x, queries, 8, 1e-5, 512, core.Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mu <= 0 {
+		t.Fatal("mu must be calibrated")
+	}
+	for i := range truth {
+		if e := math.Abs(r.Counts[i] - truth[i]); e > 0.02*float64(x.Rows) {
+			t.Fatalf("query %d: |%v − %v| = %v too large", i, r.Counts[i], truth[i], e)
+		}
+	}
+}
+
+func TestAnswerClampsToValidRange(t *testing.T) {
+	x := binaryData(20, 3, 4) // tiny m: noise dominates
+	r, err := Answer(x, AllPairs(3), 0.5, 1e-5, 64, core.Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Counts {
+		if c < 0 || c > 20 {
+			t.Fatalf("count %v escapes [0, m]", c)
+		}
+	}
+}
+
+func TestAnswerPlainAndBGWAgree(t *testing.T) {
+	x := binaryData(30, 4, 6)
+	queries := []Query{{Attrs: []int{0, 1}}, {Attrs: []int{1, 2, 3}}}
+	a, err := Answer(x, queries, 4, 1e-5, 32, core.Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Answer(x, queries, 4, 1e-5, 32, core.Params{Seed: 7, Engine: core.EngineBGW, Parties: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("query %d: plain %v vs BGW %v", i, a.Counts[i], b.Counts[i])
+		}
+	}
+}
+
+func TestSensitivitiesScaleUniformly(t *testing.T) {
+	// Mixed-degree workload: every query contributes ≈ γ^{λ+1}
+	// regardless of its own degree (the point of Algorithm 3).
+	gamma := 256.0
+	d2mixed, _ := Sensitivities([]Query{{Attrs: []int{0}}, {Attrs: []int{1, 2, 3}}}, gamma)
+	scale := math.Pow(gamma, 4) // λ+1 = 4
+	perQuery := d2mixed / math.Sqrt2
+	if perQuery < scale || perQuery > 1.05*scale {
+		t.Fatalf("per-query sensitivity %v should be ≈ γ^{λ+1} = %v", perQuery, scale)
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	qs := AllPairs(4)
+	if len(qs) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(qs))
+	}
+	for _, q := range qs {
+		if q.Degree() != 2 {
+			t.Fatal("AllPairs must emit degree-2 queries")
+		}
+	}
+	if AllPairs(1) != nil {
+		t.Fatal("no pairs over a single attribute")
+	}
+}

@@ -1,0 +1,148 @@
+// Package mathx provides scalar math helpers shared across the SQM
+// implementation: numerically stable log-space arithmetic, log-binomial
+// coefficients, and simple root finding. All functions are pure and
+// allocation-free.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// NegInf is the log-space representation of zero probability.
+var NegInf = math.Inf(-1)
+
+// LogAdd returns log(exp(a) + exp(b)) computed stably.
+func LogAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// LogSub returns log(exp(a) - exp(b)) for a >= b, computed stably.
+// It returns NegInf when a == b and NaN when a < b.
+func LogSub(a, b float64) float64 {
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a == b {
+		return NegInf
+	}
+	if a < b {
+		return math.NaN()
+	}
+	return a + math.Log1p(-math.Exp(b-a))
+}
+
+// LogSum returns log(Σ exp(xs[i])) computed stably.
+func LogSum(xs []float64) float64 {
+	s := NegInf
+	for _, x := range xs {
+		s = LogAdd(s, x)
+	}
+	return s
+}
+
+// LogFactorial returns log(n!) via math.Lgamma.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		return math.NaN()
+	}
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v
+}
+
+// LogBinomial returns log(n choose k). It returns NegInf for k outside
+// [0, n].
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return NegInf
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Binomial returns (n choose k) as a float64. Large results saturate to
+// +Inf rather than overflowing silently.
+func Binomial(n, k int) float64 {
+	return math.Exp(LogBinomial(n, k))
+}
+
+// ErrNoRoot is returned by Bisect when the bracket does not straddle a
+// sign change.
+var ErrNoRoot = errors.New("mathx: bracket does not contain a sign change")
+
+// Bisect finds x in [lo, hi] with f(x) ~= 0 by bisection, assuming f is
+// continuous and f(lo), f(hi) have opposite signs. It runs for iter
+// iterations (53 is enough for full float64 resolution of the bracket).
+func Bisect(f func(float64) float64, lo, hi float64, iter int) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoRoot
+	}
+	for i := 0; i < iter; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// BisectMonotone finds the smallest x in [lo, hi] with pred(x) true,
+// assuming pred is monotone (false ... false true ... true). It returns
+// hi if pred is false everywhere on the bracket, after verifying
+// pred(hi); if pred(hi) is false it returns hi and false.
+func BisectMonotone(pred func(float64) bool, lo, hi float64, iter int) (float64, bool) {
+	if pred(lo) {
+		return lo, true
+	}
+	if !pred(hi) {
+		return hi, false
+	}
+	for i := 0; i < iter; i++ {
+		mid := lo + (hi-lo)/2
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Erfc is the complementary error function (re-exported for callers that
+// otherwise would not import math directly).
+func Erfc(x float64) float64 { return math.Erfc(x) }
+
+// Sqr returns x*x.
+func Sqr(x float64) float64 { return x * x }

@@ -1,0 +1,112 @@
+// Package modelio persists the library's fitted artifacts (logistic
+// and ridge weight vectors, PCA subspaces) as versioned JSON envelopes,
+// so a model trained in one process can serve predictions in another.
+// The envelope records the kind and the privacy parameters the artifact
+// was produced under — a released model should carry its (ε, δ)
+// provenance.
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sqm/internal/linalg"
+)
+
+// Kind discriminates stored artifacts.
+type Kind string
+
+// Artifact kinds.
+const (
+	KindLogReg   Kind = "logreg"
+	KindRidge    Kind = "ridge"
+	KindSubspace Kind = "pca-subspace"
+)
+
+// FormatVersion is bumped on breaking envelope changes.
+const FormatVersion = 1
+
+// Provenance records the privacy budget an artifact consumed.
+type Provenance struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	Gamma   float64 `json:"gamma,omitempty"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// Envelope is the on-disk form.
+type Envelope struct {
+	Version    int        `json:"version"`
+	Kind       Kind       `json:"kind"`
+	Provenance Provenance `json:"provenance"`
+
+	// Weights holds vector artifacts (logreg, ridge).
+	Weights []float64 `json:"weights,omitempty"`
+	// Rows/Cols/Data hold matrix artifacts (pca-subspace).
+	Rows int       `json:"rows,omitempty"`
+	Cols int       `json:"cols,omitempty"`
+	Data []float64 `json:"data,omitempty"`
+}
+
+// SaveWeights writes a weight-vector artifact.
+func SaveWeights(w io.Writer, kind Kind, weights []float64, prov Provenance) error {
+	if kind != KindLogReg && kind != KindRidge {
+		return fmt.Errorf("modelio: kind %q is not a weight artifact", kind)
+	}
+	if len(weights) == 0 {
+		return fmt.Errorf("modelio: empty weight vector")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Envelope{Version: FormatVersion, Kind: kind, Provenance: prov, Weights: weights})
+}
+
+// SaveSubspace writes a PCA-subspace artifact.
+func SaveSubspace(w io.Writer, v *linalg.Matrix, prov Provenance) error {
+	if v == nil || v.Rows == 0 || v.Cols == 0 {
+		return fmt.Errorf("modelio: empty subspace")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Envelope{
+		Version: FormatVersion, Kind: KindSubspace, Provenance: prov,
+		Rows: v.Rows, Cols: v.Cols, Data: v.Data,
+	})
+}
+
+// Load parses any artifact and validates its invariants.
+func Load(r io.Reader) (*Envelope, error) {
+	var e Envelope
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	if e.Version != FormatVersion {
+		return nil, fmt.Errorf("modelio: unsupported version %d (want %d)", e.Version, FormatVersion)
+	}
+	switch e.Kind {
+	case KindLogReg, KindRidge:
+		if len(e.Weights) == 0 {
+			return nil, fmt.Errorf("modelio: %s artifact without weights", e.Kind)
+		}
+	case KindSubspace:
+		if e.Rows <= 0 || e.Cols <= 0 || len(e.Data) != e.Rows*e.Cols {
+			return nil, fmt.Errorf("modelio: subspace shape %dx%d inconsistent with %d values", e.Rows, e.Cols, len(e.Data))
+		}
+	default:
+		return nil, fmt.Errorf("modelio: unknown kind %q", e.Kind)
+	}
+	return &e, nil
+}
+
+// Subspace reconstructs the matrix of a pca-subspace artifact.
+func (e *Envelope) Subspace() (*linalg.Matrix, error) {
+	if e.Kind != KindSubspace {
+		return nil, fmt.Errorf("modelio: artifact is %q, not a subspace", e.Kind)
+	}
+	m := linalg.NewMatrix(e.Rows, e.Cols)
+	copy(m.Data, e.Data)
+	return m, nil
+}

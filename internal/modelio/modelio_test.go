@@ -1,0 +1,91 @@
+package modelio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sqm/internal/linalg"
+)
+
+func TestWeightsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	prov := Provenance{Epsilon: 1, Delta: 1e-5, Gamma: 8192, Note: "ACSIncome CA"}
+	if err := SaveWeights(&buf, KindLogReg, []float64{0.1, -0.2, 0.3}, prov); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindLogReg || len(e.Weights) != 3 || e.Weights[1] != -0.2 {
+		t.Fatalf("envelope = %+v", e)
+	}
+	if e.Provenance != prov {
+		t.Fatalf("provenance = %+v", e.Provenance)
+	}
+}
+
+func TestSubspaceRoundTrip(t *testing.T) {
+	v := linalg.FromRows([][]float64{{1, 0}, {0, 1}, {0.5, -0.5}})
+	var buf bytes.Buffer
+	if err := SaveSubspace(&buf, v, Provenance{Epsilon: 2, Delta: 1e-5}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := e.Subspace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Data {
+		if back.Data[i] != v.Data[i] {
+			t.Fatal("subspace round trip mismatch")
+		}
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, KindSubspace, []float64{1}, Provenance{}); err == nil {
+		t.Fatal("subspace kind must be rejected for weights")
+	}
+	if err := SaveWeights(&buf, KindRidge, nil, Provenance{}); err == nil {
+		t.Fatal("empty weights must be rejected")
+	}
+	if err := SaveSubspace(&buf, linalg.NewMatrix(0, 0), Provenance{}); err == nil {
+		t.Fatal("empty subspace must be rejected")
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "not json",
+		"bad version":     `{"version": 99, "kind": "logreg", "weights": [1]}`,
+		"unknown kind":    `{"version": 1, "kind": "tree", "weights": [1]}`,
+		"missing weights": `{"version": 1, "kind": "ridge"}`,
+		"bad shape":       `{"version": 1, "kind": "pca-subspace", "rows": 2, "cols": 2, "data": [1]}`,
+		"unknown field":   `{"version": 1, "kind": "logreg", "weights": [1], "extra": true}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSubspaceOnWeightArtifactErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, KindRidge, []float64{1}, Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Subspace(); err == nil {
+		t.Fatal("Subspace on ridge artifact must error")
+	}
+}

@@ -1,0 +1,145 @@
+package protocol
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ClientHooks is the work a participating client performs at each
+// lifecycle step (quantization/noise at commit, its protocol share of
+// each round).
+type ClientHooks struct {
+	// OnParams performs quantization and noise sampling; the returned
+	// bytes feed the noise commitment (may be nil).
+	OnParams      func(Params) ([]byte, error)
+	OnEvalRequest func(round uint32) error
+}
+
+// SessionOutcome reports one client's view after a full session, plus
+// the noise commitment the coordinator recorded for it.
+type SessionOutcome struct {
+	Client     int
+	Results    []Result
+	Err        error
+	Commitment [32]byte
+}
+
+// RunSession executes a complete SQM session lifecycle over in-memory
+// connections: hello, parameter commitment, p.Rounds evaluation rounds,
+// and result broadcast. evaluate runs on the coordinator after every
+// client finished its round work and returns the opened scaled values
+// (in a deployment this is where the MPC opening happens). Every
+// client's view is returned; the coordinator's error (if any) comes
+// back separately.
+func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
+	n := len(hooks)
+	if n == 0 {
+		return nil, fmt.Errorf("protocol: no clients")
+	}
+	if p.NumClients != uint32(n) {
+		return nil, fmt.Errorf("protocol: params announce %d clients but %d are wired", p.NumClients, n)
+	}
+	if p.Rounds == 0 {
+		return nil, fmt.Errorf("protocol: at least one round required")
+	}
+
+	outcomes := make([]SessionOutcome, n)
+	servers := make([]*ServerSession, n)
+	srvConns := make([]net.Conn, n)
+	var clientWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cliConn, srvConn := net.Pipe()
+		srvConns[i] = srvConn
+		servers[i] = &ServerSession{ID: uint32(i + 1), Transport: srvConn}
+		cs := &ClientSession{
+			ID:            uint32(i + 1),
+			Transport:     cliConn,
+			OnParams:      hooks[i].OnParams,
+			OnEvalRequest: hooks[i].OnEvalRequest,
+		}
+		outcomes[i].Client = i
+		clientWG.Add(1)
+		go func(i int, cs *ClientSession, conn net.Conn) {
+			defer clientWG.Done()
+			// Closing unblocks a coordinator stuck reading from a
+			// client that bailed out mid-protocol.
+			defer conn.Close()
+			if err := cs.Start(); err != nil {
+				outcomes[i].Err = err
+				return
+			}
+			outcomes[i].Results, outcomes[i].Err = cs.Serve()
+		}(i, cs, cliConn)
+	}
+
+	coordErr := func() error {
+		if err := forAll(servers, (*ServerSession).AwaitHello); err != nil {
+			return err
+		}
+		if err := forAll(servers, func(s *ServerSession) error { return s.SendParams(p) }); err != nil {
+			return err
+		}
+		for round := uint32(0); round < p.Rounds; round++ {
+			if err := forAll(servers, (*ServerSession).RunRound); err != nil {
+				return err
+			}
+			scaled, err := evaluate(round)
+			if err != nil {
+				abortAll(servers, err.Error())
+				return err
+			}
+			res := Result{Round: round, Scaled: scaled}
+			final := round == p.Rounds-1
+			if err := forAll(servers, func(s *ServerSession) error { return s.SendResult(res, final) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+
+	// Closing the server ends unblocks clients still reading (e.g. when
+	// the coordinator bailed before broadcasting anything).
+	for _, c := range srvConns {
+		c.Close()
+	}
+	clientWG.Wait()
+	for i, s := range servers {
+		outcomes[i].Commitment = s.Commitment
+	}
+	return outcomes, coordErr
+}
+
+// forAll runs op against every server session concurrently (net.Pipe is
+// synchronous, so sequential execution would deadlock against clients
+// that are mid-write).
+func forAll(servers []*ServerSession, op func(*ServerSession) error) error {
+	errs := make([]error, len(servers))
+	var wg sync.WaitGroup
+	for i, s := range servers {
+		wg.Add(1)
+		go func(i int, s *ServerSession) {
+			defer wg.Done()
+			errs[i] = op(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func abortAll(servers []*ServerSession, reason string) {
+	var wg sync.WaitGroup
+	for _, s := range servers {
+		wg.Add(1)
+		go func(s *ServerSession) {
+			defer wg.Done()
+			_ = s.Abort(reason)
+		}(s)
+	}
+	wg.Wait()
+}

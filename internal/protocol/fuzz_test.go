@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage feeds arbitrary bytes to the frame parser: it must
+// never panic or over-allocate, only return errors.
+func FuzzReadMessage(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteMessage(&good, Message{Type: MsgParams, Session: 3, Payload: []byte("x")})
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed frames must re-encode to an equivalent frame.
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+		back, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if back.Type != m.Type || back.Session != m.Session || !bytes.Equal(back.Payload, m.Payload) {
+			t.Fatal("frame round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodeResult hardens the Result payload parser.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(Result{Round: 1, Scaled: []int64{1, -2}}.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(r.Encode(), data) {
+			t.Fatal("valid Result payload must re-encode identically")
+		}
+	})
+}
+
+// FuzzDecodeParams hardens the Params payload parser.
+func FuzzDecodeParams(f *testing.F) {
+	f.Add(Params{Gamma: 2, Mu: 3, NumClients: 4, OutDim: 5, Rounds: 6, Seed: 7}.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeParams(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(p.Encode(), data) {
+			t.Fatal("valid Params payload must re-encode identically")
+		}
+	})
+}

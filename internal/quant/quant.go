@@ -1,0 +1,140 @@
+// Package quant implements Algorithm 2 of the paper: local data
+// quantization by up-scaling followed by unbiased stochastic rounding.
+// Each client applies it privately to its own column; the server and the
+// other clients never observe the pre-quantization values.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"sqm/internal/linalg"
+	"sqm/internal/randx"
+)
+
+// Scalar quantizes a single real value: scale by gamma, then round
+// stochastically to a neighboring integer. E[Scalar(v, gamma)] = gamma*v.
+func Scalar(v, gamma float64, rng *randx.RNG) int64 {
+	return rng.StochasticRound(gamma * v)
+}
+
+// Vector quantizes every element of v with scaling factor gamma
+// (Algorithm 2 applied to a column).
+func Vector(v []float64, gamma float64, rng *randx.RNG) []int64 {
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = rng.StochasticRound(gamma * x)
+	}
+	return out
+}
+
+// IntMatrix is a dense row-major integer matrix holding quantized data.
+type IntMatrix struct {
+	Rows, Cols int
+	Data       []int64
+}
+
+// NewIntMatrix allocates a zero rows x cols integer matrix.
+func NewIntMatrix(rows, cols int) *IntMatrix {
+	return &IntMatrix{Rows: rows, Cols: cols, Data: make([]int64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *IntMatrix) At(i, j int) int64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *IntMatrix) Set(i, j int, v int64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a mutable view.
+func (m *IntMatrix) Row(i int) []int64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns a copy of column j.
+func (m *IntMatrix) Col(j int) []int64 {
+	c := make([]int64, m.Rows)
+	for i := range c {
+		c[i] = m.At(i, j)
+	}
+	return c
+}
+
+// SetCol assigns column j from v.
+func (m *IntMatrix) SetCol(j int, v []int64) {
+	if len(v) != m.Rows {
+		panic("quant: SetCol length mismatch")
+	}
+	for i := range v {
+		m.Set(i, j, v[i])
+	}
+}
+
+// Float converts back to a float64 matrix scaled by 1/scale (the server's
+// post-processing step).
+func (m *IntMatrix) Float(scale float64) *linalg.Matrix {
+	f := linalg.NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		f.Data[i] = float64(v) / scale
+	}
+	return f
+}
+
+// MaxAbs returns max |m[i,j]|.
+func (m *IntMatrix) MaxAbs() int64 {
+	var s int64
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > s {
+			s = v
+		}
+	}
+	return s
+}
+
+// Matrix quantizes a full real matrix column by column. In the VFL
+// deployment each column belongs to a different client; colRNG supplies
+// the per-client private randomness (client j uses colRNG(j)). A nil
+// colRNG uses a single stream for all columns, which is the correct
+// behaviour for the centralized simulations.
+func Matrix(x *linalg.Matrix, gamma float64, rng *randx.RNG, colRNG func(j int) *randx.RNG) *IntMatrix {
+	out := NewIntMatrix(x.Rows, x.Cols)
+	if colRNG == nil {
+		for i, v := range x.Data {
+			out.Data[i] = rng.StochasticRound(gamma * v)
+		}
+		return out
+	}
+	for j := 0; j < x.Cols; j++ {
+		g := colRNG(j)
+		for i := 0; i < x.Rows; i++ {
+			out.Set(i, j, g.StochasticRound(gamma*x.At(i, j)))
+		}
+	}
+	return out
+}
+
+// Nearest rounds gamma*v to the nearest integer. It is *biased* and only
+// exists for the rounding-strategy ablation; SQM uses Scalar/Vector.
+func Nearest(v, gamma float64) int64 {
+	return int64(math.Round(gamma * v))
+}
+
+// ErrScaleOverflow reports a scaling choice whose quantized magnitudes
+// cannot be represented exactly.
+type ErrScaleOverflow struct {
+	Gamma, MaxAbs float64
+}
+
+func (e *ErrScaleOverflow) Error() string {
+	return fmt.Sprintf("quant: gamma=%g with max|v|=%g exceeds exact integer range", e.Gamma, e.MaxAbs)
+}
+
+// CheckScale verifies that |gamma*v|+1 stays below 2^53 for every v in
+// the data (so the float64 intermediary in Algorithm 2 is exact).
+func CheckScale(x *linalg.Matrix, gamma float64) error {
+	maxAbs := x.MaxAbs()
+	if gamma*maxAbs+1 >= float64(1<<53) {
+		return &ErrScaleOverflow{Gamma: gamma, MaxAbs: maxAbs}
+	}
+	return nil
+}

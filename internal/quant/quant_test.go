@@ -1,0 +1,194 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sqm/internal/linalg"
+	"sqm/internal/randx"
+)
+
+func TestScalarUnbiased(t *testing.T) {
+	g := randx.New(1)
+	const n = 200000
+	v, gamma := 0.637, 16.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(Scalar(v, gamma, g))
+	}
+	if got, want := sum/n, gamma*v; math.Abs(got-want) > 0.02 {
+		t.Fatalf("E[Scalar] = %v, want %v", got, want)
+	}
+}
+
+func TestScalarNegativeValues(t *testing.T) {
+	g := randx.New(2)
+	const n = 100000
+	v, gamma := -1.23, 8.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := Scalar(v, gamma, g)
+		if float64(x) < math.Floor(gamma*v) || float64(x) > math.Ceil(gamma*v) {
+			t.Fatalf("Scalar(%v) = %d escapes unit interval", gamma*v, x)
+		}
+		sum += float64(x)
+	}
+	if got, want := sum/n, gamma*v; math.Abs(got-want) > 0.02 {
+		t.Fatalf("E[Scalar] = %v, want %v", got, want)
+	}
+}
+
+func TestScalarBoundedErrorProperty(t *testing.T) {
+	g := randx.New(3)
+	f := func(v float64, scalePow uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+			return true
+		}
+		gamma := float64(uint64(1) << (scalePow % 20))
+		q := Scalar(v, gamma, g)
+		return math.Abs(float64(q)-gamma*v) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVector(t *testing.T) {
+	g := randx.New(4)
+	v := []float64{0.5, -0.25, 2}
+	q := Vector(v, 4, g)
+	if len(q) != 3 {
+		t.Fatalf("len = %d", len(q))
+	}
+	if q[0] != 2 || q[1] != -1 || q[2] != 8 {
+		t.Fatalf("integer-representable inputs must quantize exactly: %v", q)
+	}
+}
+
+func TestMatrixSingleStream(t *testing.T) {
+	g := randx.New(5)
+	x := linalg.FromRows([][]float64{{0.5, 0.25}, {-0.75, 1}})
+	q := Matrix(x, 4, g, nil)
+	want := []int64{2, 1, -3, 4}
+	for i, w := range want {
+		if q.Data[i] != w {
+			t.Fatalf("Data = %v, want %v", q.Data, want)
+		}
+	}
+}
+
+func TestMatrixPerClientStreams(t *testing.T) {
+	// Per-column RNGs: quantizing column by column must agree with
+	// quantizing the same column directly with the same stream.
+	x := linalg.FromRows([][]float64{{0.1, 0.9}, {0.4, 0.6}})
+	mk := func(j int) *randx.RNG { return randx.New(uint64(100 + j)) }
+	q := Matrix(x, 10, nil, mk)
+	for j := 0; j < 2; j++ {
+		want := Vector(x.Col(j), 10, randx.New(uint64(100+j)))
+		got := q.Col(j)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("column %d mismatch: %v vs %v", j, got, want)
+			}
+		}
+	}
+}
+
+func TestIntMatrixAccessors(t *testing.T) {
+	m := NewIntMatrix(2, 3)
+	m.Set(1, 2, -7)
+	if m.At(1, 2) != -7 {
+		t.Fatal("Set/At")
+	}
+	m.SetCol(0, []int64{5, 6})
+	if m.At(0, 0) != 5 || m.At(1, 0) != 6 {
+		t.Fatal("SetCol")
+	}
+	if c := m.Col(0); c[1] != 6 {
+		t.Fatal("Col")
+	}
+	r := m.Row(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a view")
+	}
+	if m.MaxAbs() != 9 {
+		t.Fatalf("MaxAbs = %d", m.MaxAbs())
+	}
+}
+
+func TestFloatDownscale(t *testing.T) {
+	m := NewIntMatrix(1, 2)
+	m.Set(0, 0, 8)
+	m.Set(0, 1, -4)
+	f := m.Float(4)
+	if f.At(0, 0) != 2 || f.At(0, 1) != -1 {
+		t.Fatalf("Float = %v", f.Data)
+	}
+}
+
+// The quantization error of the *scaled* data is at most 1 per entry, so
+// downscaling by gamma gives per-entry error at most 1/gamma — the key
+// claim behind Lemma 2 (error vanishes as gamma grows).
+func TestQuantizationErrorShrinksWithGamma(t *testing.T) {
+	g := randx.New(7)
+	x := linalg.NewMatrix(20, 20)
+	for i := range x.Data {
+		x.Data[i] = g.Gaussian(0, 0.3)
+	}
+	prevErr := math.Inf(1)
+	for _, gamma := range []float64{4, 64, 1024} {
+		q := Matrix(x, gamma, g, nil)
+		diff := q.Float(gamma).Sub(x).MaxAbs()
+		if diff > 1/gamma {
+			t.Fatalf("gamma=%v: max error %v > %v", gamma, diff, 1/gamma)
+		}
+		if diff >= prevErr {
+			t.Fatalf("error did not shrink with gamma: %v -> %v", prevErr, diff)
+		}
+		prevErr = diff
+	}
+}
+
+func TestNearestIsBiasedStochasticIsNot(t *testing.T) {
+	// v = 0.3 with gamma = 1: nearest rounding always returns 0 (bias
+	// -0.3); stochastic rounding is unbiased. This is the rounding
+	// ablation from DESIGN.md.
+	g := randx.New(8)
+	const n = 100000
+	var sumS float64
+	for i := 0; i < n; i++ {
+		sumS += float64(Scalar(0.3, 1, g))
+	}
+	if Nearest(0.3, 1) != 0 {
+		t.Fatal("Nearest(0.3) should be 0")
+	}
+	if math.Abs(sumS/n-0.3) > 0.01 {
+		t.Fatalf("stochastic mean = %v, want 0.3", sumS/n)
+	}
+}
+
+func TestCheckScale(t *testing.T) {
+	x := linalg.FromRows([][]float64{{1e10}})
+	if err := CheckScale(x, 1e10); err == nil {
+		t.Fatal("expected overflow error")
+	} else if _, ok := err.(*ErrScaleOverflow); !ok {
+		t.Fatalf("wrong error type: %T", err)
+	}
+	if err := CheckScale(x, 10); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func BenchmarkMatrixQuantize(b *testing.B) {
+	g := randx.New(1)
+	x := linalg.NewMatrix(100, 100)
+	for i := range x.Data {
+		x.Data[i] = g.Gaussian(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matrix(x, 1024, g, nil)
+	}
+}

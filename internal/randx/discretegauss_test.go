@@ -1,0 +1,183 @@
+package randx
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestBernoulliExpMatchesProbability(t *testing.T) {
+	g := New(1)
+	for _, gamma := range []float64{0, 0.3, 1, 2.5} {
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if g.bernoulliExp(gamma) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		want := math.Exp(-gamma)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("gamma=%v: P = %v, want %v", gamma, got, want)
+		}
+	}
+}
+
+func TestDiscreteLaplaceMoments(t *testing.T) {
+	g := New(2)
+	scale := 3.0
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		z := float64(g.DiscreteLaplace(scale))
+		sum += z
+		sumsq += z * z
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Var = 2 e^{1/t} / (e^{1/t} - 1)^2 for the discrete Laplace.
+	e := math.Exp(1 / scale)
+	wantVar := 2 * e / ((e - 1) * (e - 1))
+	gotVar := sumsq / n
+	if math.Abs(gotVar-wantVar) > 0.05*wantVar {
+		t.Fatalf("variance = %v, want %v", gotVar, wantVar)
+	}
+}
+
+func TestDiscreteGaussianMoments(t *testing.T) {
+	g := New(3)
+	for _, sigma := range []float64{1, 4, 20} {
+		const n = 60000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			z := float64(g.DiscreteGaussian(sigma))
+			sum += z
+			sumsq += z * z
+		}
+		mean := sum / n
+		variance := sumsq / n
+		if math.Abs(mean) > 5*sigma/math.Sqrt(n)+0.05 {
+			t.Fatalf("sigma=%v: mean = %v", sigma, mean)
+		}
+		// The discrete Gaussian's variance is within O(e^{-σ²}) of σ².
+		if math.Abs(variance-sigma*sigma) > 0.05*sigma*sigma+0.2 {
+			t.Fatalf("sigma=%v: variance = %v", sigma, variance)
+		}
+	}
+}
+
+func TestDiscreteGaussianPMFShape(t *testing.T) {
+	// Ratio check against the unnormalized pmf at small sigma.
+	g := New(4)
+	const n = 400000
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts[g.DiscreteGaussian(1.5)]++
+	}
+	pmf := func(z int64) float64 { return math.Exp(-float64(z*z) / (2 * 1.5 * 1.5)) }
+	for _, z := range []int64{0, 1, 2, 3} {
+		gotRatio := float64(counts[z]) / float64(counts[0])
+		wantRatio := pmf(z) / pmf(0)
+		if math.Abs(gotRatio-wantRatio) > 0.03 {
+			t.Fatalf("pmf ratio at %d: %v, want %v", z, gotRatio, wantRatio)
+		}
+	}
+}
+
+func TestDiscreteSamplersPanicOnBadParams(t *testing.T) {
+	g := New(5)
+	for _, f := range []func(){
+		func() { g.DiscreteLaplace(0) },
+		func() { g.DiscreteGaussian(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// ksDistance computes the Kolmogorov–Smirnov statistic between two
+// integer samples.
+func ksDistance(a, b []int64) float64 {
+	fa := make([]float64, len(a))
+	fb := make([]float64, len(b))
+	for i, v := range a {
+		fa[i] = float64(v)
+	}
+	for i, v := range b {
+		fb[i] = float64(v)
+	}
+	sort.Float64s(fa)
+	sort.Float64s(fb)
+	var d float64
+	i, j := 0, 0
+	for i < len(fa) && j < len(fb) {
+		// Advance both cursors through ties together: the CDFs are only
+		// comparable between atoms of the discrete support.
+		v := math.Min(fa[i], fb[j])
+		for i < len(fa) && fa[i] == v {
+			i++
+		}
+		for j < len(fb) && fb[j] == v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/float64(len(fa)) - float64(j)/float64(len(fb))); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// The paper's reason for Skellam (§II): sums of per-client Skellam
+// shares are *exactly* Skellam, while sums of per-client discrete
+// Gaussians are measurably not discrete Gaussian at matched variance.
+func TestClosureUnderSummationSkellamVsDiscreteGaussian(t *testing.T) {
+	const (
+		n       = 40000
+		clients = 5
+	)
+	gA, gB := New(6), New(7)
+	// Skellam: aggregate of clients shares vs single total draw.
+	muShare := 0.08 // tiny per-client parameter: worst case for shape
+	skSum := make([]int64, n)
+	skOne := make([]int64, n)
+	for i := 0; i < n; i++ {
+		var s int64
+		for c := 0; c < clients; c++ {
+			s += gA.Skellam(muShare)
+		}
+		skSum[i] = s
+		skOne[i] = gB.Skellam(muShare * clients)
+	}
+	dSk := ksDistance(skSum, skOne)
+
+	// Discrete Gaussian at the same total variance 2·clients·muShare.
+	sigmaTotal := math.Sqrt(2 * clients * muShare)
+	sigmaShare := sigmaTotal / math.Sqrt(clients)
+	dgSum := make([]int64, n)
+	dgOne := make([]int64, n)
+	for i := 0; i < n; i++ {
+		var s int64
+		for c := 0; c < clients; c++ {
+			s += gA.DiscreteGaussian(sigmaShare)
+		}
+		dgSum[i] = s
+		dgOne[i] = gB.DiscreteGaussian(sigmaTotal)
+	}
+	dDG := ksDistance(dgSum, dgOne)
+
+	if dSk > 0.015 {
+		t.Fatalf("Skellam closure violated: KS = %v", dSk)
+	}
+	if dDG < 3*dSk {
+		t.Fatalf("expected discrete Gaussian to visibly break closure: KS(Sk)=%v, KS(DG)=%v", dSk, dDG)
+	}
+}

@@ -1,0 +1,152 @@
+package secagg
+
+import (
+	"math"
+	"testing"
+
+	"sqm/internal/field"
+	"sqm/internal/randx"
+)
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(1, 5, 1); err == nil {
+		t.Fatal("single client must be rejected")
+	}
+	if _, err := NewGroup(3, 0, 1); err == nil {
+		t.Fatal("empty vectors must be rejected")
+	}
+}
+
+func TestMasksTelescopeToSum(t *testing.T) {
+	g, err := NewGroup(4, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]int64{
+		{1, -2, 3},
+		{10, 20, -30},
+		{0, 5, 5},
+		{-7, 0, 2},
+	}
+	masked := make([][]field.Elem, 4)
+	for j, v := range inputs {
+		masked[j], err = g.Mask(j, 0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := g.Aggregate(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 23, -20}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("aggregate = %v, want %v", got, want)
+		}
+	}
+	if g.Messages() != 4 {
+		t.Fatalf("messages = %d", g.Messages())
+	}
+}
+
+func TestIndividualMessagesLookUniform(t *testing.T) {
+	// A single client's masked vector must not reveal its input: the
+	// same input masked in different rounds should look unrelated, and
+	// the masked value should differ from the raw embedding.
+	g, err := NewGroup(3, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const secret = 42
+	seen := map[field.Elem]bool{}
+	for round := uint64(0); round < 100; round++ {
+		m, err := g.Mask(0, round, []int64{secret})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m[0] == field.FromInt64(secret) {
+			t.Fatal("mask left the value in the clear")
+		}
+		seen[m[0]] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("masked values repeat (%d distinct of 100)", len(seen))
+	}
+}
+
+func TestRoundsAreIndependent(t *testing.T) {
+	g, err := NewGroup(2, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.Mask(0, 1, []int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Mask(0, 2, []int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] == b[0] && a[1] == b[1] {
+		t.Fatal("different rounds must use different masks")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	g, err := NewGroup(3, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Aggregate(make([][]field.Elem, 2)); err == nil {
+		t.Fatal("missing contribution must be rejected (no-dropout setting)")
+	}
+	bad := [][]field.Elem{make([]field.Elem, 1), make([]field.Elem, 2), make([]field.Elem, 2)}
+	if _, err := g.Aggregate(bad); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if _, err := g.Mask(9, 0, []int64{1, 2}); err == nil {
+		t.Fatal("client out of range must be rejected")
+	}
+	if _, err := g.Mask(0, 0, []int64{1}); err == nil {
+		t.Fatal("vector length mismatch must be rejected")
+	}
+}
+
+func TestAggregateNoiseMatchesSkellamStatistics(t *testing.T) {
+	const (
+		clients = 5
+		length  = 2000
+		mu      = 50.0
+	)
+	g, err := NewGroup(clients, length, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := randx.New(19)
+	rngs := make([]*randx.RNG, clients)
+	for i := range rngs {
+		rngs[i] = root.Fork()
+	}
+	noise, err := g.AggregateNoise(0, mu, rngs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aggregate is Sk(mu): mean 0, variance 2mu.
+	var sum, sumsq float64
+	for _, v := range noise {
+		sum += float64(v)
+		sumsq += float64(v) * float64(v)
+	}
+	mean := sum / length
+	variance := sumsq / length
+	if math.Abs(mean) > 5*math.Sqrt(2*mu/length) {
+		t.Fatalf("aggregate noise mean = %v", mean)
+	}
+	if math.Abs(variance-2*mu) > 0.15*2*mu {
+		t.Fatalf("aggregate noise variance = %v, want %v", variance, 2*mu)
+	}
+	if _, err := g.AggregateNoise(0, mu, rngs[:2]); err == nil {
+		t.Fatal("RNG count mismatch must be rejected")
+	}
+}

@@ -1,0 +1,85 @@
+// Package vfl models the vertical-federated-learning deployment around
+// SQM: clients that each own a column of the database, an untrusted
+// server, shared-randomness coordination, and the local-DP baseline the
+// paper compares against (Algorithm 4 / Lemma 12): every client perturbs
+// its own column with Gaussian noise and ships it to the server, who
+// reconstructs a noisy database and post-processes freely.
+package vfl
+
+import (
+	"fmt"
+
+	"sqm/internal/dp"
+	"sqm/internal/linalg"
+	"sqm/internal/randx"
+)
+
+// Client owns one column of the vertically partitioned database.
+type Client struct {
+	ID  int
+	Col []float64
+	rng *randx.RNG
+}
+
+// Partition splits x column-wise into one client per column, each with
+// its own private randomness derived from seed.
+func Partition(x *linalg.Matrix, seed uint64) []*Client {
+	root := randx.New(seed)
+	clients := make([]*Client, x.Cols)
+	for j := range clients {
+		clients[j] = &Client{ID: j, Col: x.Col(j), rng: root.Fork()}
+	}
+	return clients
+}
+
+// PerturbColumn is one client's step of Algorithm 4: add N(0, σ²) to
+// every entry of the private column.
+func (c *Client) PerturbColumn(sigma float64) []float64 {
+	out := make([]float64, len(c.Col))
+	for i, v := range c.Col {
+		out[i] = v + c.rng.Gaussian(0, sigma)
+	}
+	return out
+}
+
+// PerturbDataset runs Algorithm 4 end to end: every client perturbs its
+// column and the server reassembles the noisy database X̃.
+func PerturbDataset(x *linalg.Matrix, sigma float64, seed uint64) *linalg.Matrix {
+	clients := Partition(x, seed)
+	out := linalg.NewMatrix(x.Rows, x.Cols)
+	for j, c := range clients {
+		out.SetCol(j, c.PerturbColumn(sigma))
+	}
+	return out
+}
+
+// LocalRDPServer is Lemma 12's server-observed RDP of Algorithm 4 for
+// record norm bound c: τ = α·c²/(2σ²).
+func LocalRDPServer(alpha int, c, sigma float64) float64 {
+	return dp.GaussianRDP(float64(alpha), c, sigma)
+}
+
+// LocalRDPClient is the client-observed counterpart, with the doubled
+// (replace-one) sensitivity: τ = α·(2c)²/(2σ²).
+func LocalRDPClient(alpha int, c, sigma float64) float64 {
+	return dp.GaussianRDP(float64(alpha), 2*c, sigma)
+}
+
+// CalibrateLocalSigma returns the per-entry Gaussian scale for Algorithm
+// 4 to satisfy server-observed (ε, δ)-DP when every record has L2 norm
+// at most c: the whole row moves when a record is replaced, so the L2
+// sensitivity of releasing X̃ is c, and the analytic Gaussian mechanism
+// applies.
+func CalibrateLocalSigma(eps, delta, c float64) (float64, error) {
+	if c <= 0 {
+		return 0, fmt.Errorf("vfl: norm bound must be positive, got %v", c)
+	}
+	return dp.AnalyticGaussianSigma(eps, delta, c)
+}
+
+// SharedCoin returns the shared-randomness stream the clients use to
+// coordinate (batch sampling in the LR instantiation). It is public to
+// the clients and hidden from the server.
+func SharedCoin(seed uint64) *randx.RNG {
+	return randx.New(seed ^ 0x5eedc01)
+}

@@ -1,0 +1,143 @@
+package sqm_test
+
+import (
+	"math"
+	"testing"
+
+	"sqm"
+)
+
+// The facade tests exercise the public API end to end the way a
+// downstream user would; the heavy lifting is covered by the internal
+// package suites.
+
+func TestPublicPolynomialEvaluation(t *testing.T) {
+	x := sqm.FromRows([][]float64{
+		{0.5, 0.25},
+		{0.25, 0.5},
+		{0.1, 0.9},
+	})
+	f := sqm.MustMulti(sqm.MustPolynomial(2,
+		sqm.Monomial{Coef: 1, Exps: []int{1, 1}},
+	))
+	est, trace, err := sqm.EvaluatePolynomialSum(f, x, sqm.Params{Gamma: 4096, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0.5*0.25 + 0.25*0.5 + 0.1*0.9
+	if math.Abs(est[0]-truth) > 1e-3 {
+		t.Fatalf("estimate %v, want ≈ %v", est[0], truth)
+	}
+	if trace.Scale != 4096*4096*4096 {
+		t.Fatalf("scale = %v", trace.Scale)
+	}
+}
+
+func TestPublicMonomialWithBGW(t *testing.T) {
+	x := sqm.FromRows([][]float64{{0.5, 0.5}, {0.25, 0.75}})
+	m := sqm.Monomial{Coef: 2, Exps: []int{1, 1}}
+	plain, _, err := sqm.EvaluateMonomialSum(m, x, sqm.Params{Gamma: 64, Mu: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpc, _, err := sqm.EvaluateMonomialSum(m, x, sqm.Params{Gamma: 64, Mu: 3, Seed: 2, Engine: sqm.EngineBGW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != mpc {
+		t.Fatalf("plain %v vs BGW %v", plain, mpc)
+	}
+}
+
+func TestPublicCovarianceAndPCA(t *testing.T) {
+	ds := sqm.KDDCupLike(500, 12, 3)
+	cov, _, err := sqm.Covariance(ds.X, sqm.Params{Gamma: 1024, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Rows != 12 || !cov.IsSymmetric(0) {
+		t.Fatal("covariance malformed")
+	}
+	r, err := sqm.PCASQM(ds.X, sqm.PCAConfig{K: 3, Eps: 4, Delta: 1e-5, C: 1, Gamma: 1024, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := sqm.PCAExact(ds.X, sqm.PCAConfig{K: 3, C: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utility > exact.Utility+1e-9 {
+		t.Fatal("private utility cannot exceed exact")
+	}
+}
+
+func TestPublicLogReg(t *testing.T) {
+	ds, err := sqm.ACSIncomeLike("TX", 600, 300, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sqm.TrainLogRegSQM(ds.X, ds.Labels, sqm.LRConfig{
+		Eps: 8, Delta: 1e-5, Gamma: 4096, Epochs: 3, SampleRate: 0.05, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := sqm.LogRegAccuracy(m, ds.TestX, ds.TestLabels)
+	if acc < 0.5 {
+		t.Fatalf("accuracy %v below coin flip", acc)
+	}
+}
+
+func TestPublicAccounting(t *testing.T) {
+	mu, err := sqm.CalibrateSkellamMu(1, 1e-5, 100, 100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, _ := sqm.SkellamEpsilon(100, 100, mu, 1, 1, 1e-5)
+	if eps > 1+1e-9 {
+		t.Fatalf("calibrated eps = %v", eps)
+	}
+	cEps, _ := sqm.SkellamClientEpsilon(100, 100, mu, 4, 1, 1e-5)
+	if cEps <= eps {
+		t.Fatal("client-observed eps must exceed server-observed")
+	}
+	sigma, err := sqm.AnalyticGaussianSigma(1, 1e-5, 1)
+	if err != nil || sigma <= 0 {
+		t.Fatalf("sigma = %v, err = %v", sigma, err)
+	}
+	if sqm.RDPToDP(8, 0.5, 1e-5) <= 0.5 {
+		t.Fatal("conversion must add the delta term")
+	}
+	if tau := sqm.SkellamRDP(4, 10, 10, 1e6); tau <= 0 {
+		t.Fatalf("tau = %v", tau)
+	}
+}
+
+func TestPublicPerturbDataset(t *testing.T) {
+	x := sqm.NewMatrix(100, 3)
+	noisy := sqm.PerturbDataset(x, 1, 7)
+	var sumsq float64
+	for _, v := range noisy.Data {
+		sumsq += v * v
+	}
+	if v := sumsq / 300; v < 0.7 || v > 1.3 {
+		t.Fatalf("noise variance = %v", v)
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	if _, err := sqm.RunExperiment("bogus", sqm.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunExperimentStaticTables(t *testing.T) {
+	tabs, err := sqm.RunExperiment("table1", sqm.ExperimentOptions{})
+	if err != nil || len(tabs) != 1 {
+		t.Fatalf("table1: %v, %v", tabs, err)
+	}
+	tabs, err = sqm.RunExperiment("table3", sqm.ExperimentOptions{})
+	if err != nil || len(tabs) != 1 {
+		t.Fatalf("table3: %v, %v", tabs, err)
+	}
+}

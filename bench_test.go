@@ -4,8 +4,11 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"sqm"
+	"sqm/internal/bgw"
+	"sqm/internal/transport"
 )
 
 // benchOptions keeps the per-iteration cost small enough for testing.B
@@ -72,3 +75,53 @@ func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
 // (coefficient scaling, fused gates, rounding, noise families, Taylor
 // order, MPC engines, sparse Gram).
 func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations") }
+
+// benchDot measures one fused inner-product gate (share two length-n
+// vectors, Dot, reshare, open) on an Evaluator backend.
+func benchDot(b *testing.B, mk func() (bgw.Evaluator, error)) {
+	const n = 256
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i%17) - 8
+		ys[i] = int64(i%11) - 5
+	}
+	eng, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := eng.InputVec(0, xs)
+		c := eng.InputVec(1, ys)
+		if got := eng.Open(eng.Dot(a, c)); got == 0 {
+			b.Fatal("dot opened 0")
+		}
+	}
+	if err := eng.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDotTransport compares the monolithic single-goroutine BGW
+// engine against the party-actor engine whose share traffic crosses the
+// in-memory channel mesh — the overhead of real message passing versus
+// array indexing for the same arithmetic.
+func BenchmarkDotTransport(b *testing.B) {
+	cfg := bgw.Config{Parties: 4, Seed: 5, Latency: time.Nanosecond}
+	b.Run("monolithic", func(b *testing.B) {
+		benchDot(b, func() (bgw.Evaluator, error) {
+			eng, err := bgw.NewEngine(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bgw.Eval(eng), nil
+		})
+	})
+	b.Run("actor-chan", func(b *testing.B) {
+		benchDot(b, func() (bgw.Evaluator, error) {
+			return bgw.NewActorEngine(cfg, transport.NewChanMesh(cfg.Parties))
+		})
+	})
+}

@@ -5,6 +5,11 @@
 // DP analysis requires), then two evaluation rounds whose opened
 // results are broadcast back to every client.
 //
+// Everything crosses real sockets: the session frames travel over
+// localhost TCP connections (RunVFLSessionTCP), and each round's MPC
+// runs the party-actor BGW engine whose share messages travel over
+// their own TCP mesh (EngineActorBGWNet).
+//
 // Run with: go run ./examples/vflsession
 package main
 
@@ -61,9 +66,10 @@ func main() {
 	}
 
 	var scale float64
-	outcomes, err := sqm.RunVFLSession(params, hooks, func(round uint32) ([]int64, error) {
+	outcomes, err := sqm.RunVFLSessionTCP(params, hooks, func(round uint32) ([]int64, error) {
 		_, tr, err := sqm.EvaluatePolynomialSum(f, x, sqm.Params{
 			Gamma: params.Gamma, Mu: params.Mu, NumClients: 3,
+			Engine: sqm.EngineActorBGWNet, Parties: 3,
 			Seed: params.Seed + uint64(round),
 		})
 		if err != nil {

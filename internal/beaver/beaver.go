@@ -65,15 +65,17 @@ func (d *DealerSource) Triples(n int) ([]Triple, error) {
 
 // BGWSource produces triples without any trusted party, using one BGW
 // multiplication per triple and the local Shamir→additive conversion.
+// It runs against any bgw.Evaluator backend — the monolithic engine
+// (wrap with bgw.Eval) or the party-actor engine over a transport.
 type BGWSource struct {
-	eng  *bgw.Engine
+	eng  bgw.Evaluator
 	rngs []*randx.RNG
 	lag  []field.Elem
 }
 
-// NewBGWSource wires a source to a BGW engine (which meters the offline
-// communication on its own stats).
-func NewBGWSource(eng *bgw.Engine, seed uint64) *BGWSource {
+// NewBGWSource wires a source to a BGW evaluator (which meters the
+// offline communication on its own stats).
+func NewBGWSource(eng bgw.Evaluator, seed uint64) *BGWSource {
 	root := randx.New(seed ^ 0xbea4)
 	rngs := make([]*randx.RNG, eng.Parties())
 	for i := range rngs {
@@ -96,7 +98,7 @@ func (s *BGWSource) Triples(n int) ([]Triple, error) {
 		bShares := make([]field.Elem, p)
 		// Each party draws its additive share locally (free) and
 		// inputs it into BGW to obtain Shamir sharings of a and b.
-		var aS, bS *bgw.Shared
+		var aS, bS bgw.Val
 		for j := 0; j < p; j++ {
 			aShares[j] = field.Rand(s.rngs[j])
 			bShares[j] = field.Rand(s.rngs[j])
@@ -112,7 +114,10 @@ func (s *BGWSource) Triples(n int) ([]Triple, error) {
 		cS := s.eng.Mul(aS, bS)
 		s.eng.AdvanceRound()
 		// Local Shamir→additive conversion: party j holds λ_j·share_j.
-		out[i] = Triple{A: aShares, B: bShares, C: cS.AdditiveShares(s.lag)}
+		out[i] = Triple{A: aShares, B: bShares, C: s.eng.AdditiveShares(cS, s.lag)}
+	}
+	if err := s.eng.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

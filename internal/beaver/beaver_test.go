@@ -167,7 +167,7 @@ func TestBGWSourceTriplesAreValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := NewBGWSource(bgwEng, 11)
+	src := NewBGWSource(bgw.Eval(bgwEng), 11)
 	ts, err := src.Triples(10)
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +193,7 @@ func TestBeaverEngineWithBGWSourceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewEngine(Config{Parties: 4, Seed: 13, Source: NewBGWSource(bgwEng, 13)})
+	e, err := NewEngine(Config{Parties: 4, Seed: 13, Source: NewBGWSource(bgw.Eval(bgwEng), 13)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -206,7 +206,7 @@ func AblationMPCEngines(o Options) *Table {
 		tbl.Notes = append(tbl.Notes, err.Error())
 		return tbl
 	}
-	bv, err := beaver.NewEngine(beaver.Config{Parties: parties, Seed: o.Seed, Source: beaver.NewBGWSource(offline, o.Seed)})
+	bv, err := beaver.NewEngine(beaver.Config{Parties: parties, Seed: o.Seed, Source: beaver.NewBGWSource(bgw.Eval(offline), o.Seed)})
 	if err != nil {
 		tbl.Notes = append(tbl.Notes, err.Error())
 		return tbl

@@ -129,6 +129,7 @@ func lrTiming(o Options, m, n, parties int) timingResult {
 		if err != nil {
 			return nil, 0, err
 		}
+		defer proto.Close()
 		setup := time.Since(start)
 		batch := make([]int, feat.Rows)
 		for i := range batch {

@@ -1,0 +1,454 @@
+package bgw
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sqm/internal/field"
+	"sqm/internal/randx"
+	"sqm/internal/shamir"
+	"sqm/internal/transport"
+)
+
+// ActorEngine runs the BGW protocol as P message-driven party actors
+// over a pluggable transport. Unlike the monolithic Engine — which
+// holds all parties' shares in one slice — each actor goroutine owns
+// only *its* shares and private randomness; resharing and opening
+// traffic crosses the transport as framed messages, so the
+// message/byte statistics are measured from real traffic rather than
+// hand-counted.
+//
+// The facade keeps the monolithic engine's API shape (Input, Dot,
+// DotBatch, InnerProduct, Open, stats metering) and is output-identical
+// to it: BGW computes exactly, so for the same inputs the opened values
+// are bit-equal regardless of backend or share randomness.
+//
+// The facade is driven by a single caller goroutine. Commands are
+// broadcast to every party in issue order; parties execute them in that
+// order, which keeps the per-party RNG streams and the pairwise message
+// sequences deterministic. Only operations that reveal data (Open,
+// OpenVec, AdditiveShares, Stats) synchronize the caller with the
+// actors; everything else pipelines.
+type ActorEngine struct {
+	p, t    int
+	latency time.Duration
+	mesh    transport.Mesh
+	parties []*actorParty
+	wg      sync.WaitGroup
+
+	nextSc, nextVec int
+	rounds          int64
+	err             error
+	closed          bool
+
+	baseRounds, baseMsgs, baseBytes, baseOps int64
+}
+
+// ActorShared is an opaque handle to one secret-shared scalar whose
+// shares live inside the party actors.
+type ActorShared struct {
+	eng *ActorEngine
+	ref int
+}
+
+// ActorVec is an opaque handle to a secret-shared vector.
+type ActorVec struct {
+	eng *ActorEngine
+	ref int
+	n   int
+}
+
+// Len returns the number of shared elements.
+func (v *ActorVec) Len() int { return v.n }
+
+// At extracts element k as a scalar handle (local to every party).
+func (v *ActorVec) At(k int) Val { return v.eng.At(v, k) }
+
+// NewActorEngine validates the configuration and starts one party
+// actor per mesh endpoint. The engine owns the mesh: Close tears both
+// down. Seed derivation matches NewEngine, so party i's private stream
+// is identical to the monolithic engine's party i under the same seed.
+func NewActorEngine(cfg Config, mesh transport.Mesh) (*ActorEngine, error) {
+	if cfg.Parties < 3 {
+		return nil, fmt.Errorf("bgw: need at least 3 parties, got %d", cfg.Parties)
+	}
+	t := cfg.Threshold
+	if t == 0 {
+		t = (cfg.Parties - 1) / 2
+	}
+	if t < 1 || cfg.Parties < 2*t+1 {
+		return nil, fmt.Errorf("bgw: threshold %d invalid for %d parties (need P >= 2t+1, t >= 1)", t, cfg.Parties)
+	}
+	if mesh.Parties() != cfg.Parties {
+		return nil, fmt.Errorf("bgw: mesh has %d endpoints for %d parties", mesh.Parties(), cfg.Parties)
+	}
+	lat := cfg.Latency
+	if lat == 0 {
+		lat = DefaultLatency
+	}
+	e := &ActorEngine{p: cfg.Parties, t: t, latency: lat, mesh: mesh}
+	weights := shamir.LagrangeAtZero(shamir.PartyPoints(cfg.Parties))
+	root := randx.New(cfg.Seed)
+	for i := 0; i < cfg.Parties; i++ {
+		pa := &actorParty{
+			id: i, p: cfg.Parties, t: t,
+			rng:     root.Fork(),
+			weights: weights,
+			conn:    mesh.Conn(i),
+			cmds:    make(chan *actorCmd, 256),
+		}
+		e.parties = append(e.parties, pa)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			pa.run()
+		}()
+	}
+	return e, nil
+}
+
+// Parties returns P.
+func (e *ActorEngine) Parties() int { return e.p }
+
+// Threshold returns t.
+func (e *ActorEngine) Threshold() int { return e.t }
+
+// Latency returns the per-round latency.
+func (e *ActorEngine) Latency() time.Duration { return e.latency }
+
+// AdvanceRound accounts one communication round.
+func (e *ActorEngine) AdvanceRound() { e.rounds++ }
+
+// Err returns the first failure any party actor hit (transport abort,
+// EOF mid-round, malformed frame); nil while healthy.
+func (e *ActorEngine) Err() error { return e.err }
+
+// Stats synchronizes with the actors and returns counters: rounds from
+// the protocol structure, messages and bytes measured by the transport,
+// field operations summed over the parties' local work.
+func (e *ActorEngine) Stats() Stats {
+	ops := e.collectOps()
+	msgs, bytes := e.mesh.Counters()
+	return Stats{
+		Rounds:   e.rounds - e.baseRounds,
+		Messages: msgs - e.baseMsgs,
+		Bytes:    bytes - e.baseBytes,
+		FieldOps: ops - e.baseOps,
+	}
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (e *ActorEngine) ResetStats() {
+	e.baseOps = e.collectOps()
+	e.baseMsgs, e.baseBytes = e.mesh.Counters()
+	e.baseRounds = e.rounds
+}
+
+// Close shuts the party actors down and tears down the mesh. Parties
+// blocked mid-round are unblocked by the mesh teardown.
+func (e *ActorEngine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.mesh.Close()
+	for _, pa := range e.parties {
+		close(pa.cmds)
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// dispatch broadcasts one command to every party; reports false when
+// the engine is failed or closed (the command must then be skipped).
+func (e *ActorEngine) dispatch(c *actorCmd) bool {
+	if e.err != nil || e.closed {
+		return false
+	}
+	for _, pa := range e.parties {
+		pa.cmds <- c
+	}
+	return true
+}
+
+// await collects exactly one reply per party and latches the first
+// error into the engine's sticky failure state.
+func (e *ActorEngine) await(c *actorCmd) []actorReply {
+	replies := make([]actorReply, e.p)
+	for i := 0; i < e.p; i++ {
+		r := <-c.reply
+		if r.err != nil && e.err == nil {
+			e.err = r.err
+		}
+		replies[r.party] = r
+	}
+	return replies
+}
+
+func (e *ActorEngine) newSc() int {
+	r := e.nextSc
+	e.nextSc++
+	return r
+}
+
+func (e *ActorEngine) newVec() int {
+	r := e.nextVec
+	e.nextVec++
+	return r
+}
+
+func (e *ActorEngine) scRef(v Val) int {
+	s, ok := v.(*ActorShared)
+	if !ok || s.eng != e {
+		panic("bgw: share from a different engine")
+	}
+	return s.ref
+}
+
+func (e *ActorEngine) vecRef(v Vec) int {
+	s, ok := v.(*ActorVec)
+	if !ok || s.eng != e {
+		panic("bgw: vector from a different engine")
+	}
+	return s.ref
+}
+
+func (e *ActorEngine) checkParty(i int) {
+	if i < 0 || i >= e.p {
+		panic(fmt.Sprintf("bgw: party %d out of range [0,%d)", i, e.p))
+	}
+}
+
+// collectOps runs a barrier and sums the parties' cumulative local
+// field-operation counters.
+func (e *ActorEngine) collectOps() int64 {
+	c := &actorCmd{op: opBarrier, reply: make(chan actorReply, e.p)}
+	if !e.dispatch(c) {
+		return e.baseOps
+	}
+	var sum int64
+	for _, r := range e.await(c) {
+		sum += r.ops
+	}
+	return sum
+}
+
+// ---- Evaluator operations ----
+
+// Input has party owner secret-share the signed value v; one real
+// message per receiving party crosses the transport.
+func (e *ActorEngine) Input(owner int, v int64) Val {
+	e.checkParty(owner)
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opInput, owner: owner, c: v})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// InputElem has party owner secret-share a raw field element.
+func (e *ActorEngine) InputElem(owner int, el field.Elem) Val {
+	e.checkParty(owner)
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opInputElem, owner: owner, elem: el})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// InputVec has party owner secret-share the signed vector vs; one
+// batched message per receiving party.
+func (e *ActorEngine) InputVec(owner int, vs []int64) Vec {
+	e.checkParty(owner)
+	ref := e.newVec()
+	ints := append([]int64(nil), vs...)
+	e.dispatch(&actorCmd{op: opInputVec, owner: owner, ints: ints})
+	return &ActorVec{eng: e, ref: ref, n: len(vs)}
+}
+
+// Zero returns a trivial sharing of 0; local.
+func (e *ActorEngine) Zero() Val {
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opZero})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// Add returns a sharing of a + b; local.
+func (e *ActorEngine) Add(a, b Val) Val {
+	ra, rb := e.scRef(a), e.scRef(b)
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opAdd, a: ra, b: rb})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// Sub returns a sharing of a − b; local.
+func (e *ActorEngine) Sub(a, b Val) Val {
+	ra, rb := e.scRef(a), e.scRef(b)
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opSub, a: ra, b: rb})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// AddConst returns a sharing of a + c; local.
+func (e *ActorEngine) AddConst(a Val, c int64) Val {
+	ra := e.scRef(a)
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opAddConst, a: ra, c: c})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// MulConst returns a sharing of c·a; local.
+func (e *ActorEngine) MulConst(a Val, c int64) Val {
+	ra := e.scRef(a)
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opMulConst, a: ra, c: c})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// Mul returns a sharing of a·b: every party multiplies its shares
+// locally and the actors run one degree-reduction resharing round over
+// the transport.
+func (e *ActorEngine) Mul(a, b Val) Val {
+	ra, rb := e.scRef(a), e.scRef(b)
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opMul, a: ra, b: rb})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// InnerProduct returns a sharing of Σ_k a[k]·b[k] with the fused gate:
+// local sums of share products, then a single resharing.
+func (e *ActorEngine) InnerProduct(as, bs []Val) Val {
+	if len(as) != len(bs) {
+		panic("bgw: InnerProduct length mismatch")
+	}
+	refs := make([]int, len(as))
+	refs2 := make([]int, len(bs))
+	for i := range as {
+		refs[i] = e.scRef(as[i])
+		refs2[i] = e.scRef(bs[i])
+	}
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opInnerProduct, refs: refs, refs2: refs2})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// AdditiveShares converts the Shamir sharing to an additive sharing:
+// each party reports weights[i]·share_i (a local computation; the
+// collection is facade-side synchronization, not protocol traffic).
+func (e *ActorEngine) AdditiveShares(s Val, weights []field.Elem) []field.Elem {
+	if len(weights) != e.p {
+		panic("bgw: AdditiveShares weight count mismatch")
+	}
+	ref := e.scRef(s)
+	w := append([]field.Elem(nil), weights...)
+	c := &actorCmd{op: opAdditive, a: ref, weights: w, reply: make(chan actorReply, e.p)}
+	out := make([]field.Elem, e.p)
+	if !e.dispatch(c) {
+		return out
+	}
+	for i, r := range e.await(c) {
+		out[i] = r.elem
+	}
+	if e.err != nil {
+		return make([]field.Elem, e.p)
+	}
+	return out
+}
+
+// Open reveals the signed secret: the parties exchange shares pairwise
+// over the transport, each reconstructs, and party 0 reports the value
+// to the caller. Returns 0 after a transport failure (see Err).
+func (e *ActorEngine) Open(s Val) int64 {
+	ref := e.scRef(s)
+	c := &actorCmd{op: opOpen, a: ref, reply: make(chan actorReply, e.p)}
+	if !e.dispatch(c) {
+		return 0
+	}
+	replies := e.await(c)
+	if e.err != nil {
+		return 0
+	}
+	return replies[0].val
+}
+
+// At extracts element k of a vector as a scalar; local.
+func (e *ActorEngine) At(v Vec, k int) Val {
+	rv := e.vecRef(v)
+	if k < 0 || k >= v.Len() {
+		panic("bgw: vector index out of range")
+	}
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opAt, a: rv, k: k})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// AddVec returns the element-wise sum a + b; local.
+func (e *ActorEngine) AddVec(a, b Vec) Vec {
+	ra, rb := e.vecRef(a), e.vecRef(b)
+	if a.Len() != b.Len() {
+		panic("bgw: vector length mismatch")
+	}
+	ref := e.newVec()
+	e.dispatch(&actorCmd{op: opAddVec, a: ra, b: rb})
+	return &ActorVec{eng: e, ref: ref, n: a.Len()}
+}
+
+// Dot returns a sharing of ⟨a, b⟩ with the fused gate (one resharing).
+func (e *ActorEngine) Dot(a, b Vec) Val {
+	ra, rb := e.vecRef(a), e.vecRef(b)
+	if a.Len() != b.Len() {
+		panic("bgw: vector length mismatch")
+	}
+	ref := e.newSc()
+	e.dispatch(&actorCmd{op: opDot, a: ra, b: rb})
+	return &ActorShared{eng: e, ref: ref}
+}
+
+// DotBatch evaluates many fused inner products in one batched resharing
+// round: every party sends a single message per peer carrying the
+// sub-shares of all pairs. workers is ignored — the parties are already
+// concurrent actors.
+func (e *ActorEngine) DotBatch(pairs []VecPair, workers int) []Val {
+	_ = workers
+	out := make([]Val, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	refs := make([]int, len(pairs))
+	refs2 := make([]int, len(pairs))
+	for i, pr := range pairs {
+		refs[i] = e.vecRef(pr.A)
+		refs2[i] = e.vecRef(pr.B)
+		if pr.A.Len() != pr.B.Len() {
+			panic("bgw: vector length mismatch")
+		}
+	}
+	for i := range out {
+		out[i] = &ActorShared{eng: e, ref: e.newSc()}
+	}
+	e.dispatch(&actorCmd{op: opDotBatch, refs: refs, refs2: refs2})
+	return out
+}
+
+// FromScalars packs scalar shares into a vector; local.
+func (e *ActorEngine) FromScalars(xs []Val) Vec {
+	refs := make([]int, len(xs))
+	for i := range xs {
+		refs[i] = e.scRef(xs[i])
+	}
+	ref := e.newVec()
+	e.dispatch(&actorCmd{op: opFromScalars, refs: refs})
+	return &ActorVec{eng: e, ref: ref, n: len(xs)}
+}
+
+// OpenVec reveals every element as one batched opening (one message per
+// ordered party pair carrying all elements).
+func (e *ActorEngine) OpenVec(v Vec) []int64 {
+	ref := e.vecRef(v)
+	c := &actorCmd{op: opOpenVec, a: ref, reply: make(chan actorReply, e.p)}
+	if !e.dispatch(c) {
+		return make([]int64, v.Len())
+	}
+	replies := e.await(c)
+	if e.err != nil || replies[0].vals == nil {
+		return make([]int64, v.Len())
+	}
+	return replies[0].vals
+}

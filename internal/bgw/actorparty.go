@@ -1,0 +1,392 @@
+package bgw
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sqm/internal/field"
+	"sqm/internal/randx"
+	"sqm/internal/shamir"
+	"sqm/internal/transport"
+)
+
+// actorOp enumerates the commands the facade broadcasts to the party
+// actors. Every party executes the same command sequence in the same
+// order, which keeps share slot indices and RNG streams aligned across
+// parties without any coordination messages.
+type actorOp uint8
+
+const (
+	opInput actorOp = iota
+	opInputElem
+	opInputVec
+	opZero
+	opAdd
+	opSub
+	opAddConst
+	opMulConst
+	opMul
+	opInnerProduct
+	opDot
+	opDotBatch
+	opAt
+	opAddVec
+	opFromScalars
+	opOpen
+	opOpenVec
+	opAdditive
+	opBarrier
+)
+
+// actorCmd is one broadcast command. Operand fields are interpreted per
+// opcode; refs/refs2 carry operand lists for the fused gates. The
+// payload is read-only for the parties — the facade never mutates a
+// command after dispatch.
+type actorCmd struct {
+	op      actorOp
+	a, b    int          // scalar or vector slot operands
+	k       int          // element index (opAt)
+	c       int64        // public constant or signed input (opInput, opAddConst, opMulConst)
+	elem    field.Elem   // raw field input (opInputElem)
+	owner   int          // input owner (opInput*, also used by opInputVec)
+	ints    []int64      // signed input vector (opInputVec)
+	refs    []int        // operand list A (opInnerProduct, opDotBatch, opFromScalars)
+	refs2   []int        // operand list B
+	weights []field.Elem // Lagrange weights (opAdditive)
+	reply   chan actorReply
+}
+
+// actorReply is one party's answer to a synchronizing command.
+type actorReply struct {
+	party int
+	val   int64
+	vals  []int64
+	elem  field.Elem
+	ops   int64
+	err   error
+}
+
+// actorParty is one BGW party: it owns its share slots and its private
+// randomness, and talks to its peers only through the transport. The
+// run loop consumes facade commands until the channel closes.
+type actorParty struct {
+	id, p, t int
+	rng      *randx.RNG
+	weights  []field.Elem
+	conn     transport.PartyConn
+	cmds     chan *actorCmd
+
+	sc       []field.Elem   // scalar share slots, indexed by facade refs
+	vc       [][]field.Elem // vector share slots
+	fieldOps int64
+	err      error
+}
+
+func (a *actorParty) run() {
+	for cmd := range a.cmds {
+		if a.err != nil {
+			if cmd.reply != nil {
+				cmd.reply <- actorReply{party: a.id, err: a.err}
+			}
+			continue
+		}
+		if err := a.exec(cmd); err != nil {
+			a.err = fmt.Errorf("bgw: party %d: %w", a.id, err)
+			// Tear down our endpoint so peers blocked on our traffic
+			// fail fast instead of hanging mid-round.
+			a.conn.Close()
+			if cmd.reply != nil {
+				cmd.reply <- actorReply{party: a.id, err: a.err}
+			}
+		}
+	}
+}
+
+// exec performs one command. Commands carrying a reply channel must
+// send exactly one reply on success; on error the run loop replies.
+func (a *actorParty) exec(c *actorCmd) error {
+	switch c.op {
+	case opInput:
+		return a.input(c.owner, field.FromInt64(c.c))
+	case opInputElem:
+		return a.input(c.owner, c.elem)
+	case opInputVec:
+		return a.inputVec(c.owner, c.ints)
+	case opZero:
+		a.sc = append(a.sc, 0)
+	case opAdd:
+		a.sc = append(a.sc, field.Add(a.sc[c.a], a.sc[c.b]))
+	case opSub:
+		a.sc = append(a.sc, field.Sub(a.sc[c.a], a.sc[c.b]))
+	case opAddConst:
+		a.sc = append(a.sc, field.Add(a.sc[c.a], field.FromInt64(c.c)))
+	case opMulConst:
+		a.sc = append(a.sc, field.Mul(a.sc[c.a], field.FromInt64(c.c)))
+		a.fieldOps++
+	case opMul:
+		prod := field.Mul(a.sc[c.a], a.sc[c.b])
+		a.fieldOps++
+		out, err := a.reshare([]field.Elem{prod})
+		if err != nil {
+			return err
+		}
+		a.sc = append(a.sc, out[0])
+	case opInnerProduct:
+		var acc field.Elem
+		for i := range c.refs {
+			acc = field.Add(acc, field.Mul(a.sc[c.refs[i]], a.sc[c.refs2[i]]))
+		}
+		a.fieldOps += int64(len(c.refs))
+		out, err := a.reshare([]field.Elem{acc})
+		if err != nil {
+			return err
+		}
+		a.sc = append(a.sc, out[0])
+	case opDot:
+		va, vb := a.vc[c.a], a.vc[c.b]
+		var acc field.Elem
+		for k := range va {
+			acc = field.Add(acc, field.Mul(va[k], vb[k]))
+		}
+		a.fieldOps += int64(len(va))
+		out, err := a.reshare([]field.Elem{acc})
+		if err != nil {
+			return err
+		}
+		a.sc = append(a.sc, out[0])
+	case opDotBatch:
+		accs := make([]field.Elem, len(c.refs))
+		for m := range c.refs {
+			va, vb := a.vc[c.refs[m]], a.vc[c.refs2[m]]
+			var acc field.Elem
+			for k := range va {
+				acc = field.Add(acc, field.Mul(va[k], vb[k]))
+			}
+			accs[m] = acc
+			a.fieldOps += int64(len(va))
+		}
+		out, err := a.reshare(accs)
+		if err != nil {
+			return err
+		}
+		a.sc = append(a.sc, out...)
+	case opAt:
+		a.sc = append(a.sc, a.vc[c.a][c.k])
+	case opAddVec:
+		va, vb := a.vc[c.a], a.vc[c.b]
+		out := make([]field.Elem, len(va))
+		for k := range out {
+			out[k] = field.Add(va[k], vb[k])
+		}
+		a.vc = append(a.vc, out)
+	case opFromScalars:
+		out := make([]field.Elem, len(c.refs))
+		for k, r := range c.refs {
+			out[k] = a.sc[r]
+		}
+		a.vc = append(a.vc, out)
+	case opOpen:
+		vals, err := a.openValues([]field.Elem{a.sc[c.a]})
+		if err != nil {
+			return err
+		}
+		c.reply <- actorReply{party: a.id, val: field.ToInt64(vals[0])}
+	case opOpenVec:
+		vals, err := a.openValues(a.vc[c.a])
+		if err != nil {
+			return err
+		}
+		r := actorReply{party: a.id}
+		if a.id == 0 {
+			out := make([]int64, len(vals))
+			for k, v := range vals {
+				out[k] = field.ToInt64(v)
+			}
+			r.vals = out
+		}
+		c.reply <- r
+	case opAdditive:
+		c.reply <- actorReply{party: a.id, elem: field.Mul(c.weights[a.id], a.sc[c.a])}
+	case opBarrier:
+		c.reply <- actorReply{party: a.id, ops: a.fieldOps}
+	default:
+		return fmt.Errorf("unknown opcode %d", c.op)
+	}
+	return nil
+}
+
+// input runs one sharing round: the owner Shamir-shares the value and
+// sends each peer its share; everyone else receives theirs.
+func (a *actorParty) input(owner int, v field.Elem) error {
+	if owner == a.id {
+		sh := shamir.Share(v, a.t, a.p, a.rng)
+		a.fieldOps += int64(a.p * (a.t + 1))
+		for j := 0; j < a.p; j++ {
+			if j == a.id {
+				continue
+			}
+			buf := make([]byte, 8)
+			putElem(buf, sh[j])
+			if err := a.conn.Send(j, buf); err != nil {
+				return err
+			}
+		}
+		a.sc = append(a.sc, sh[a.id])
+		return nil
+	}
+	buf, err := a.conn.Recv(owner)
+	if err != nil {
+		return err
+	}
+	if len(buf) != 8 {
+		return fmt.Errorf("bad share payload from party %d: %d bytes", owner, len(buf))
+	}
+	a.sc = append(a.sc, getElem(buf))
+	return nil
+}
+
+// inputVec shares a whole vector in one batched message per peer.
+func (a *actorParty) inputVec(owner int, vs []int64) error {
+	n := len(vs)
+	if owner == a.id {
+		mine := make([]field.Elem, n)
+		bufs := make([][]byte, a.p)
+		for j := range bufs {
+			if j != a.id {
+				bufs[j] = make([]byte, 8*n)
+			}
+		}
+		for k, v := range vs {
+			sh := shamir.Share(field.FromInt64(v), a.t, a.p, a.rng)
+			for j := 0; j < a.p; j++ {
+				if j == a.id {
+					mine[k] = sh[j]
+				} else {
+					putElem(bufs[j][8*k:], sh[j])
+				}
+			}
+		}
+		a.fieldOps += int64(n * a.p * (a.t + 1))
+		for j := 0; j < a.p; j++ {
+			if j == a.id {
+				continue
+			}
+			if err := a.conn.Send(j, bufs[j]); err != nil {
+				return err
+			}
+		}
+		a.vc = append(a.vc, mine)
+		return nil
+	}
+	buf, err := a.conn.Recv(owner)
+	if err != nil {
+		return err
+	}
+	if len(buf) != 8*n {
+		return fmt.Errorf("bad vector payload from party %d: %d bytes for %d elems", owner, len(buf), n)
+	}
+	mine := make([]field.Elem, n)
+	for k := range mine {
+		mine[k] = getElem(buf[8*k:])
+	}
+	a.vc = append(a.vc, mine)
+	return nil
+}
+
+// reshare runs one degree-reduction round for a batch of degree-2t
+// values: Shamir-share each local value, send every peer its sub-shares
+// in one message, and combine the received sub-shares with the Lagrange
+// weights. Sends never block (transport guarantee), so the
+// all-send-then-all-receive shape cannot deadlock.
+func (a *actorParty) reshare(highs []field.Elem) ([]field.Elem, error) {
+	n := len(highs)
+	subs := make([][]field.Elem, n)
+	for m, h := range highs {
+		subs[m] = shamir.Share(h, a.t, a.p, a.rng)
+	}
+	for j := 0; j < a.p; j++ {
+		if j == a.id {
+			continue
+		}
+		buf := make([]byte, 8*n)
+		for m := range subs {
+			putElem(buf[8*m:], subs[m][j])
+		}
+		if err := a.conn.Send(j, buf); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]field.Elem, n)
+	wi := a.weights[a.id]
+	for m := range out {
+		out[m] = field.Mul(wi, subs[m][a.id])
+	}
+	for j := 0; j < a.p; j++ {
+		if j == a.id {
+			continue
+		}
+		buf, err := a.conn.Recv(j)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) != 8*n {
+			return nil, fmt.Errorf("bad reshare payload from party %d: %d bytes for %d values", j, len(buf), n)
+		}
+		wj := a.weights[j]
+		for m := range out {
+			out[m] = field.Add(out[m], field.Mul(wj, getElem(buf[8*m:])))
+		}
+	}
+	// Per-party slice of the engine-level reshare cost model, so the
+	// sum over parties matches the monolithic engine's accounting.
+	a.fieldOps += int64(n * (a.p + a.t + 1))
+	return out, nil
+}
+
+// openValues runs one opening round for a batch of shared values: every
+// party broadcasts its shares and reconstructs by Lagrange
+// interpolation at zero.
+func (a *actorParty) openValues(mine []field.Elem) ([]field.Elem, error) {
+	n := len(mine)
+	out := make([]byte, 8*n)
+	for m, v := range mine {
+		putElem(out[8*m:], v)
+	}
+	for j := 0; j < a.p; j++ {
+		if j == a.id {
+			continue
+		}
+		// Each peer gets its own copy: the transport owns payloads.
+		b := append([]byte(nil), out...)
+		if err := a.conn.Send(j, b); err != nil {
+			return nil, err
+		}
+	}
+	vals := make([]field.Elem, n)
+	wi := a.weights[a.id]
+	for m := range vals {
+		vals[m] = field.Mul(wi, mine[m])
+	}
+	for j := 0; j < a.p; j++ {
+		if j == a.id {
+			continue
+		}
+		buf, err := a.conn.Recv(j)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) != 8*n {
+			return nil, fmt.Errorf("bad opening payload from party %d: %d bytes for %d values", j, len(buf), n)
+		}
+		wj := a.weights[j]
+		for m := range vals {
+			vals[m] = field.Add(vals[m], field.Mul(wj, getElem(buf[8*m:])))
+		}
+	}
+	a.fieldOps += int64(n)
+	return vals, nil
+}
+
+func putElem(b []byte, e field.Elem) { binary.BigEndian.PutUint64(b, uint64(e)) }
+
+func getElem(b []byte) field.Elem { return field.Elem(binary.BigEndian.Uint64(b)) }

@@ -1,0 +1,164 @@
+package bgw
+
+import (
+	"time"
+
+	"sqm/internal/field"
+)
+
+// Val is an opaque handle to one secret-shared scalar. Each Evaluator
+// implementation issues its own handle type (*Shared for the monolithic
+// engine, *ActorShared for the party-actor engine); handles must only
+// be passed back to the evaluator that issued them.
+type Val interface{}
+
+// Vec is an opaque handle to a secret-shared vector.
+type Vec interface {
+	// Len returns the number of shared elements.
+	Len() int
+}
+
+// VecPair names one fused inner product of a DotBatch.
+type VecPair struct{ A, B Vec }
+
+// Evaluator is the abstract MPC backend the SQM protocols run against.
+// It captures exactly the share operations the paper's circuits need:
+// input sharing, local linear algebra, degree-reduction multiplication,
+// fused inner products and openings. Backends: the monolithic in-process
+// engine (Eval), the party-actor engine over a pluggable transport
+// (NewActorEngine), and — because BGW computes exactly — the plaintext
+// engine in internal/core that bypasses sharing entirely.
+//
+// All operations follow the semi-honest, synchronized-round model of the
+// concrete engines: structured protocols batch the independent messages
+// of a phase into one round via AdvanceRound.
+type Evaluator interface {
+	// Parties returns P.
+	Parties() int
+	// Threshold returns t.
+	Threshold() int
+	// Latency returns the per-round latency used for simulated time.
+	Latency() time.Duration
+	// Stats returns a snapshot of the execution counters. For
+	// transport-backed evaluators the message/byte counts are measured
+	// from real traffic, not modeled.
+	Stats() Stats
+	// ResetStats zeroes the counters.
+	ResetStats()
+	// AdvanceRound accounts one communication round.
+	AdvanceRound()
+	// Err returns the first failure the backend hit (transport abort,
+	// EOF mid-round); nil while healthy. Openings performed after a
+	// failure return zero values.
+	Err() error
+	// Close releases backend resources (party goroutines, sockets).
+	Close() error
+
+	// Input has party owner secret-share the signed value v.
+	Input(owner int, v int64) Val
+	// InputElem has party owner secret-share a raw field element.
+	InputElem(owner int, e field.Elem) Val
+	// InputVec has party owner secret-share the signed vector vs.
+	InputVec(owner int, vs []int64) Vec
+	// Zero returns a trivial sharing of 0.
+	Zero() Val
+	// Add returns a sharing of a + b; local.
+	Add(a, b Val) Val
+	// Sub returns a sharing of a − b; local.
+	Sub(a, b Val) Val
+	// AddConst returns a sharing of a + c; local.
+	AddConst(a Val, c int64) Val
+	// MulConst returns a sharing of c·a; local.
+	MulConst(a Val, c int64) Val
+	// Mul returns a sharing of a·b via degree-reduction resharing.
+	Mul(a, b Val) Val
+	// InnerProduct returns a sharing of Σ_k a[k]·b[k] with the fused
+	// gate (one resharing total).
+	InnerProduct(as, bs []Val) Val
+	// AdditiveShares converts the Shamir sharing to an additive sharing
+	// locally: party i's addend is weights[i]·share_i.
+	AdditiveShares(s Val, weights []field.Elem) []field.Elem
+	// Open reveals the signed secret to all parties.
+	Open(s Val) int64
+
+	// At extracts element k of a vector as a scalar; local.
+	At(v Vec, k int) Val
+	// AddVec returns the element-wise sum a + b; local.
+	AddVec(a, b Vec) Vec
+	// Dot returns a sharing of the inner product ⟨a, b⟩ (fused gate).
+	Dot(a, b Vec) Val
+	// DotBatch evaluates many fused inner products belonging to the
+	// same communication round.
+	DotBatch(pairs []VecPair, workers int) []Val
+	// FromScalars packs scalar shares into a vector; local.
+	FromScalars(xs []Val) Vec
+	// OpenVec reveals every element as one batched opening.
+	OpenVec(v Vec) []int64
+}
+
+// Eval adapts the monolithic engine to the Evaluator interface. The
+// engine's concrete API stays available for callers that want it; the
+// adapter only translates handle types.
+func Eval(e *Engine) Evaluator { return monoEval{e} }
+
+type monoEval struct{ e *Engine }
+
+func (m monoEval) Parties() int           { return m.e.Parties() }
+func (m monoEval) Threshold() int         { return m.e.Threshold() }
+func (m monoEval) Latency() time.Duration { return m.e.Latency() }
+func (m monoEval) Stats() Stats           { return m.e.Stats() }
+func (m monoEval) ResetStats()            { m.e.ResetStats() }
+func (m monoEval) AdvanceRound()          { m.e.AdvanceRound() }
+func (m monoEval) Err() error             { return nil }
+func (m monoEval) Close() error           { return nil }
+
+func (m monoEval) Input(owner int, v int64) Val          { return m.e.Input(owner, v) }
+func (m monoEval) InputElem(owner int, e field.Elem) Val { return m.e.InputElem(owner, e) }
+func (m monoEval) InputVec(owner int, vs []int64) Vec    { return m.e.InputVec(owner, vs) }
+func (m monoEval) Zero() Val                             { return m.e.Zero() }
+func (m monoEval) Add(a, b Val) Val                      { return m.e.Add(a.(*Shared), b.(*Shared)) }
+func (m monoEval) Sub(a, b Val) Val                      { return m.e.Sub(a.(*Shared), b.(*Shared)) }
+func (m monoEval) AddConst(a Val, c int64) Val           { return m.e.AddConst(a.(*Shared), c) }
+func (m monoEval) MulConst(a Val, c int64) Val           { return m.e.MulConst(a.(*Shared), c) }
+func (m monoEval) Mul(a, b Val) Val                      { return m.e.Mul(a.(*Shared), b.(*Shared)) }
+func (m monoEval) Open(s Val) int64                      { return m.e.Open(s.(*Shared)) }
+
+func (m monoEval) InnerProduct(as, bs []Val) Val {
+	ca := make([]*Shared, len(as))
+	cb := make([]*Shared, len(bs))
+	for i := range as {
+		ca[i] = as[i].(*Shared)
+		cb[i] = bs[i].(*Shared)
+	}
+	return m.e.InnerProduct(ca, cb)
+}
+
+func (m monoEval) AdditiveShares(s Val, weights []field.Elem) []field.Elem {
+	return s.(*Shared).AdditiveShares(weights)
+}
+
+func (m monoEval) At(v Vec, k int) Val   { return v.(*SharedVec).At(k) }
+func (m monoEval) AddVec(a, b Vec) Vec   { return m.e.AddVec(a.(*SharedVec), b.(*SharedVec)) }
+func (m monoEval) Dot(a, b Vec) Val      { return m.e.Dot(a.(*SharedVec), b.(*SharedVec)) }
+func (m monoEval) OpenVec(v Vec) []int64 { return m.e.OpenVec(v.(*SharedVec)) }
+
+func (m monoEval) DotBatch(pairs []VecPair, workers int) []Val {
+	dp := make([]DotPair, len(pairs))
+	for i, p := range pairs {
+		dp[i] = DotPair{A: p.A.(*SharedVec), B: p.B.(*SharedVec)}
+	}
+	shared := m.e.DotBatch(dp, workers)
+	out := make([]Val, len(shared))
+	for i, s := range shared {
+		out[i] = s
+	}
+	return out
+}
+
+func (m monoEval) FromScalars(xs []Val) Vec {
+	cx := make([]*Shared, len(xs))
+	for i := range xs {
+		cx[i] = xs[i].(*Shared)
+	}
+	return m.e.FromScalars(cx)
+}

@@ -36,9 +36,18 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		epochs = fs.Int("epochs", 5, "training epochs (lr)")
 		q      = fs.Float64("q", 0.01, "Poisson sampling rate (lr)")
 		seed   = fs.Uint64("seed", 1, "reproducibility seed")
+		engine = fs.String("engine", "plain", "evaluation backend: plain, bgw, actor, actor-net")
+		nparty = fs.Int("parties", 0, "MPC party count (engines other than plain)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	kind, err := core.ParseEngineKind(*engine)
+	if err != nil {
+		return err
+	}
+	if kind.IsMPC() && *nparty == 0 {
+		*nparty = 3
 	}
 	if *data == "" {
 		return fmt.Errorf("-data is required")
@@ -69,6 +78,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 	case "pca":
 		r, err := pca.SQM(loaded.X, pca.Config{
 			K: *k, Eps: *eps, Delta: *delta, C: 1, Gamma: *gamma, Seed: *seed,
+			Engine: kind, Parties: *nparty,
 		})
 		if err != nil {
 			return err
@@ -81,7 +91,9 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cov, _, err := core.Covariance(loaded.X, core.Params{Gamma: *gamma, Mu: mu, Seed: *seed})
+		cov, _, err := core.Covariance(loaded.X, core.Params{
+			Gamma: *gamma, Mu: mu, Seed: *seed, Engine: kind, Parties: *nparty,
+		})
 		if err != nil {
 			return err
 		}
@@ -95,6 +107,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		m, err := logreg.TrainSQM(loaded.X, loaded.Labels, logreg.Config{
 			Eps: *eps, Delta: *delta, Gamma: *gamma,
 			Epochs: *epochs, SampleRate: *q, Seed: *seed,
+			Engine: kind, Parties: *nparty,
 		})
 		if err != nil {
 			return err
@@ -116,6 +129,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		}
 		m, err := linreg.SQM(loaded.X, loaded.Labels, linreg.Config{
 			Eps: *eps, Delta: *delta, C: 1, B: 1, Gamma: *gamma, Seed: *seed,
+			Engine: kind, Parties: *nparty,
 		})
 		if err != nil {
 			return err

@@ -40,11 +40,11 @@ func Covariance(x *linalg.Matrix, p Params) (*linalg.Matrix, *Trace, error) {
 	tr := &Trace{Scale: p.Gamma * p.Gamma, Lat: p.Latency}
 	var upper []int64
 	var err error
-	switch p.Engine {
-	case EnginePlain:
+	switch {
+	case p.Engine == EnginePlain:
 		upper, err = plainCovariance(qd, clientRNGs, p.Mu, pairs, tr)
-	case EngineBGW:
-		upper, err = bgwCovariance(qd, clientRNGs, &p, pairs, tr)
+	case p.Engine.IsMPC():
+		upper, err = mpcCovariance(qd, clientRNGs, &p, pairs, tr)
 	default:
 		err = errUnknownEngine(p.Engine)
 	}
@@ -74,7 +74,7 @@ func errUnknownEngine(k EngineKind) error {
 
 type engineError struct{ kind EngineKind }
 
-func (e *engineError) Error() string { return "core: unknown engine" }
+func (e *engineError) Error() string { return "core: unknown engine " + e.kind.String() }
 
 // plainCovariance computes the upper triangle of X̂ᵀX̂ plus aggregated
 // noise with direct integer arithmetic.
@@ -139,17 +139,19 @@ func plainCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, mu float64, p
 	return upper, nil
 }
 
-// bgwCovariance runs the same computation over secret shares: one input
-// round, one batched inner-product round (fused gates, one resharing per
-// Gram entry), one opening round. Noise shares enter during the input
-// round and are aggregated locally.
-func bgwCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, p *Params, pairs int, tr *Trace) ([]int64, error) {
-	eng, err := bgw.NewEngine(bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ 0x51c0})
+// mpcCovariance runs the same computation over secret shares with the
+// selected Evaluator backend: one input round, one batched
+// inner-product round (fused gates, one resharing per Gram entry), one
+// opening round. Noise shares enter during the input round and are
+// aggregated locally.
+func mpcCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, p *Params, pairs int, tr *Trace) ([]int64, error) {
+	eng, err := p.newEvaluator(0x51c0)
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	n := qd.Cols
-	cols := make([]*bgw.SharedVec, n)
+	cols := make([]bgw.Vec, n)
 	for j := 0; j < n; j++ {
 		cols[j] = eng.InputVec(p.partyOf(p.clientOf(j, n)), qd.Col(j))
 	}
@@ -157,7 +159,7 @@ func bgwCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, p *Params, pair
 	// aggregation is local addition of share vectors.
 	noiseStart := time.Now()
 	share := p.Mu / float64(len(clientRNGs))
-	var noiseAcc *bgw.SharedVec
+	var noiseAcc bgw.Vec
 	for j, g := range clientRNGs {
 		v := eng.InputVec(p.partyOf(j), g.SkellamVec(pairs, share))
 		if noiseAcc == nil {
@@ -170,11 +172,11 @@ func bgwCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, p *Params, pair
 	tr.NoiseRounds++
 	eng.AdvanceRound() // input round (data + noise)
 
-	pairList := make([]bgw.DotPair, pairs)
+	pairList := make([]bgw.VecPair, pairs)
 	idx := 0
 	for a := 0; a < n; a++ {
 		for b := a; b < n; b++ {
-			pairList[idx] = bgw.DotPair{A: cols[a], B: cols[b]}
+			pairList[idx] = bgw.VecPair{A: cols[a], B: cols[b]}
 			idx++
 		}
 	}
@@ -183,6 +185,9 @@ func bgwCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, p *Params, pair
 	result := eng.AddVec(eng.FromScalars(dots), noiseAcc)
 	upper := eng.OpenVec(result)
 	eng.AdvanceRound() // output round
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	tr.Stats = eng.Stats()
 	return upper, nil
 }

@@ -33,10 +33,10 @@ type LRProtocol struct {
 	feat *quant.IntMatrix // m × d quantized features
 	lab  []int64          // γ·y (exact for y ∈ {0,1})
 
-	// BGW engine state.
-	eng        *bgw.Engine
-	featShares []*bgw.SharedVec
-	labShares  *bgw.SharedVec
+	// MPC engine state (nil for EnginePlain).
+	eng        bgw.Evaluator
+	featShares []bgw.Vec
+	labShares  bgw.Vec
 	setupStats bgw.Stats
 }
 
@@ -68,21 +68,34 @@ func NewLRProtocol(features *linalg.Matrix, labels []float64, p Params) (*LRProt
 		lr.lab[i] = g.StochasticRound(p.Gamma * y) // exact: γ·y is integral
 	}
 
-	if p.Engine == EngineBGW {
-		eng, err := bgw.NewEngine(bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ 0x17a3})
+	if p.Engine.IsMPC() {
+		eng, err := p.newEvaluator(0x17a3)
 		if err != nil {
 			return nil, err
 		}
 		lr.eng = eng
-		lr.featShares = make([]*bgw.SharedVec, lr.d)
+		lr.featShares = make([]bgw.Vec, lr.d)
 		for j := 0; j < lr.d; j++ {
 			lr.featShares[j] = eng.InputVec(p.partyOf(p.clientOf(j, lr.d+1)), lr.feat.Col(j))
 		}
 		lr.labShares = eng.InputVec(p.partyOf(labelClient), lr.lab)
 		eng.AdvanceRound() // data input round (once per training run)
 		lr.setupStats = eng.Stats()
+		if err := eng.Err(); err != nil {
+			eng.Close()
+			return nil, err
+		}
 	}
 	return lr, nil
+}
+
+// Close releases the MPC backend (party goroutines, sockets); no-op for
+// the plain engine. The protocol is unusable afterwards.
+func (lr *LRProtocol) Close() error {
+	if lr.eng != nil {
+		return lr.eng.Close()
+	}
+	return nil
 }
 
 // NumRecords returns m.
@@ -122,11 +135,11 @@ func (lr *LRProtocol) GradientSum(w []float64, batch []int) ([]float64, *Trace, 
 	tr := &Trace{Scale: math.Pow(p.Gamma, 3), Lat: p.Latency}
 	var scaled []int64
 	var err error
-	switch p.Engine {
-	case EnginePlain:
+	switch {
+	case p.Engine == EnginePlain:
 		scaled = lr.plainGradient(wq, qHalf, batch, noise, tr)
-	case EngineBGW:
-		scaled = lr.bgwGradient(wq, qHalf, batch, noise, tr)
+	case p.Engine.IsMPC():
+		scaled, err = lr.mpcGradient(wq, qHalf, batch, noise, tr)
 	default:
 		err = errUnknownEngine(p.Engine)
 	}
@@ -181,30 +194,30 @@ func (lr *LRProtocol) plainGradient(wq []int64, qHalf int64, batch []int, noise 
 	return grad
 }
 
-// bgwGradient runs one SGD round over secret shares: the public weights
+// mpcGradient runs one SGD round over secret shares: the public weights
 // fold in locally, one fused inner product per coordinate (batched into
 // a single resharing round), noise input round, output round.
-func (lr *LRProtocol) bgwGradient(wq []int64, qHalf int64, batch []int, noise [][]int64, tr *Trace) []int64 {
+func (lr *LRProtocol) mpcGradient(wq []int64, qHalf int64, batch []int, noise [][]int64, tr *Trace) ([]int64, error) {
 	eng := lr.eng
 	before := eng.Stats()
 
 	// u_i = qHalf + Σ_j ŵ_j x̂_{ij} − γ·ŷ_i, local per record.
-	us := make([]*bgw.Shared, len(batch))
+	us := make([]bgw.Val, len(batch))
 	for bi, i := range batch {
 		acc := eng.Zero()
 		for j := 0; j < lr.d; j++ {
 			if wq[j] == 0 {
 				continue
 			}
-			acc = eng.Add(acc, eng.MulConst(lr.featShares[j].At(i), wq[j]))
+			acc = eng.Add(acc, eng.MulConst(eng.At(lr.featShares[j], i), wq[j]))
 		}
-		acc = eng.Sub(acc, eng.MulConst(lr.labShares.At(i), lr.gammaInt))
+		acc = eng.Sub(acc, eng.MulConst(eng.At(lr.labShares, i), lr.gammaInt))
 		us[bi] = eng.AddConst(acc, qHalf)
 	}
 
 	// Noise shares enter in their own round and aggregate locally.
 	noiseStart := time.Now()
-	noiseShared := make([]*bgw.Shared, lr.d)
+	noiseShared := make([]bgw.Val, lr.d)
 	for t := 0; t < lr.d; t++ {
 		acc := eng.Zero()
 		for j, shares := range noise {
@@ -217,11 +230,11 @@ func (lr *LRProtocol) bgwGradient(wq []int64, qHalf int64, batch []int, noise []
 	eng.AdvanceRound() // noise input round
 
 	scaled := make([]int64, lr.d)
-	xs := make([]*bgw.Shared, len(batch))
-	outs := make([]*bgw.Shared, lr.d)
+	xs := make([]bgw.Val, len(batch))
+	outs := make([]bgw.Val, lr.d)
 	for t := 0; t < lr.d; t++ {
 		for bi, i := range batch {
-			xs[bi] = lr.featShares[t].At(i)
+			xs[bi] = eng.At(lr.featShares[t], i)
 		}
 		outs[t] = eng.Add(eng.InnerProduct(xs, us), noiseShared[t])
 	}
@@ -230,6 +243,9 @@ func (lr *LRProtocol) bgwGradient(wq []int64, qHalf int64, batch []int, noise []
 		scaled[t] = eng.Open(s)
 	}
 	eng.AdvanceRound() // output round
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 
 	after := eng.Stats()
 	tr.Stats = bgw.Stats{
@@ -237,7 +253,7 @@ func (lr *LRProtocol) bgwGradient(wq []int64, qHalf int64, batch []int, noise []
 		Messages: after.Messages - before.Messages,
 		FieldOps: after.FieldOps - before.FieldOps,
 	}
-	return scaled
+	return scaled, nil
 }
 
 // SetupStats returns the protocol counters of the one-time data-sharing

@@ -39,9 +39,9 @@ type LR3Protocol struct {
 	feat *IntMatrixView
 	lab  []int64
 
-	eng        *bgw.Engine
-	featShares []*bgw.SharedVec
-	labShares  *bgw.SharedVec
+	eng        bgw.Evaluator
+	featShares []bgw.Vec
+	labShares  bgw.Vec
 }
 
 // IntMatrixView aliases the quantized feature storage to avoid exposing
@@ -113,20 +113,32 @@ func NewLR3Protocol(features *linalg.Matrix, labels []float64, p Params, precisi
 		}
 		lr.lab[i] = g.StochasticRound(p.Gamma * y)
 	}
-	if p.Engine == EngineBGW {
-		eng, err := bgw.NewEngine(bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ 0x3c91})
+	if p.Engine.IsMPC() {
+		eng, err := p.newEvaluator(0x3c91)
 		if err != nil {
 			return nil, err
 		}
 		lr.eng = eng
-		lr.featShares = make([]*bgw.SharedVec, lr.d)
+		lr.featShares = make([]bgw.Vec, lr.d)
 		for j := 0; j < lr.d; j++ {
 			lr.featShares[j] = eng.InputVec(p.partyOf(p.clientOf(j, lr.d+1)), lr.feat.Col(j))
 		}
 		lr.labShares = eng.InputVec(p.partyOf(labelClient), lr.lab)
 		eng.AdvanceRound()
+		if err := eng.Err(); err != nil {
+			eng.Close()
+			return nil, err
+		}
 	}
 	return lr, nil
+}
+
+// Close releases the MPC backend; no-op for the plain engine.
+func (lr *LR3Protocol) Close() error {
+	if lr.eng != nil {
+		return lr.eng.Close()
+	}
+	return nil
 }
 
 // Scale returns the server's divisor k³γ⁵.
@@ -193,11 +205,11 @@ func (lr *LR3Protocol) GradientSum(w []float64, batch []int) ([]float64, *Trace,
 	tr := &Trace{Scale: lr.Scale(), Lat: lr.p.Latency}
 	var scaled []int64
 	var err error
-	switch lr.p.Engine {
-	case EnginePlain:
+	switch {
+	case lr.p.Engine == EnginePlain:
 		scaled = lr.plainGradient(wq, wc, qHalf, labelCoef, batch, noise, tr)
-	case EngineBGW:
-		scaled = lr.bgwGradient(wq, wc, qHalf, labelCoef, batch, noise, tr)
+	case lr.p.Engine.IsMPC():
+		scaled, err = lr.mpcGradient(wq, wc, qHalf, labelCoef, batch, noise, tr)
 	default:
 		err = errUnknownEngine(lr.p.Engine)
 	}
@@ -238,18 +250,18 @@ func (lr *LR3Protocol) plainGradient(wq, wc []int64, qHalf, labelCoef int64, bat
 	return grad
 }
 
-func (lr *LR3Protocol) bgwGradient(wq, wc []int64, qHalf, labelCoef int64, batch []int, noise [][]int64, tr *Trace) []int64 {
+func (lr *LR3Protocol) mpcGradient(wq, wc []int64, qHalf, labelCoef int64, batch []int, noise [][]int64, tr *Trace) ([]int64, error) {
 	eng := lr.eng
 	before := eng.Stats()
 	// u_i: local folds for the public-coefficient parts; two resharing
 	// rounds for the cube c³.
-	cs := make([]*bgw.Shared, len(batch))
-	lins := make([]*bgw.Shared, len(batch))
+	cs := make([]bgw.Val, len(batch))
+	lins := make([]bgw.Val, len(batch))
 	for bi, i := range batch {
 		s2 := eng.Zero()
 		c := eng.Zero()
 		for j := 0; j < lr.d; j++ {
-			xj := lr.featShares[j].At(i)
+			xj := eng.At(lr.featShares[j], i)
 			if wq[j] != 0 {
 				s2 = eng.Add(s2, eng.MulConst(xj, wq[j]))
 			}
@@ -257,23 +269,23 @@ func (lr *LR3Protocol) bgwGradient(wq, wc []int64, qHalf, labelCoef int64, batch
 				c = eng.Add(c, eng.MulConst(xj, wc[j]))
 			}
 		}
-		lin := eng.Sub(s2, eng.MulConst(lr.labShares.At(i), labelCoef))
+		lin := eng.Sub(s2, eng.MulConst(eng.At(lr.labShares, i), labelCoef))
 		lins[bi] = eng.AddConst(lin, qHalf)
 		cs[bi] = c
 	}
-	sq := make([]*bgw.Shared, len(batch))
+	sq := make([]bgw.Val, len(batch))
 	for bi := range batch {
 		sq[bi] = eng.Mul(cs[bi], cs[bi])
 	}
 	eng.AdvanceRound() // first cube round
-	us := make([]*bgw.Shared, len(batch))
+	us := make([]bgw.Val, len(batch))
 	for bi := range batch {
 		us[bi] = eng.Sub(lins[bi], eng.Mul(sq[bi], cs[bi]))
 	}
 	eng.AdvanceRound() // second cube round
 
 	noiseStart := time.Now()
-	noiseShared := make([]*bgw.Shared, lr.d)
+	noiseShared := make([]bgw.Val, lr.d)
 	for t := 0; t < lr.d; t++ {
 		acc := eng.Zero()
 		for j, shares := range noise {
@@ -286,21 +298,24 @@ func (lr *LR3Protocol) bgwGradient(wq, wc []int64, qHalf, labelCoef int64, batch
 	eng.AdvanceRound() // noise input round
 
 	scaled := make([]int64, lr.d)
-	xs := make([]*bgw.Shared, len(batch))
+	xs := make([]bgw.Val, len(batch))
 	for t := 0; t < lr.d; t++ {
 		for bi, i := range batch {
-			xs[bi] = lr.featShares[t].At(i)
+			xs[bi] = eng.At(lr.featShares[t], i)
 		}
 		out := eng.Add(eng.InnerProduct(xs, us), noiseShared[t])
 		scaled[t] = eng.Open(out)
 	}
 	eng.AdvanceRound() // fused multiplication round
 	eng.AdvanceRound() // output round
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	after := eng.Stats()
 	tr.Stats = bgw.Stats{
 		Rounds:   after.Rounds - before.Rounds,
 		Messages: after.Messages - before.Messages,
 		FieldOps: after.FieldOps - before.FieldOps,
 	}
-	return scaled
+	return scaled, nil
 }

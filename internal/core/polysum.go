@@ -39,13 +39,13 @@ func EvaluatePolynomialSum(f *poly.Multi, x *linalg.Matrix, p Params) ([]float64
 
 	tr := &Trace{Scale: q.Scale(), Lat: p.Latency}
 	var scaled []int64
-	switch p.Engine {
-	case EnginePlain:
+	switch {
+	case p.Engine == EnginePlain:
 		scaled, err = plainPolySum(q, qd, noise, tr)
-	case EngineBGW:
-		scaled, err = bgwPolySum(q, qd, noise, &p, tr)
+	case p.Engine.IsMPC():
+		scaled, err = mpcPolySum(q, qd, noise, &p, tr)
 	default:
-		err = fmt.Errorf("core: unknown engine %d", p.Engine)
+		err = errUnknownEngine(p.Engine)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -93,13 +93,13 @@ func EvaluateMonomialSum(m poly.Monomial, x *linalg.Matrix, p Params) (float64, 
 	tr := &Trace{Scale: math.Pow(p.Gamma, float64(lambda)), Lat: p.Latency}
 	var scaled []int64
 	var err error
-	switch p.Engine {
-	case EnginePlain:
+	switch {
+	case p.Engine == EnginePlain:
 		scaled, err = plainPolySum(q, qd, noise, tr)
-	case EngineBGW:
-		scaled, err = bgwPolySum(q, qd, noise, &p, tr)
+	case p.Engine.IsMPC():
+		scaled, err = mpcPolySum(q, qd, noise, &p, tr)
 	default:
-		err = fmt.Errorf("core: unknown engine %d", p.Engine)
+		err = errUnknownEngine(p.Engine)
 	}
 	if err != nil {
 		return 0, nil, err
@@ -140,19 +140,21 @@ func plainPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, tr 
 	return sum, nil
 }
 
-// bgwPolySum evaluates the quantized polynomial over secret shares. All
-// columns are shared in one input round; each multiplication layer and
-// the final opening are single rounds of batched messages.
-func bgwPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Params, tr *Trace) ([]int64, error) {
+// mpcPolySum evaluates the quantized polynomial over secret shares with
+// whichever Evaluator backend p.Engine selects. All columns are shared
+// in one input round; each multiplication layer and the final opening
+// are single rounds of batched messages.
+func mpcPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Params, tr *Trace) ([]int64, error) {
 	if err := checkPolyBound(q, data, p.Mu); err != nil {
 		return nil, err
 	}
-	eng, err := bgw.NewEngine(bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ 0xb6d5})
+	eng, err := p.newEvaluator(0xb6d5)
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	n, m := data.Cols, data.Rows
-	cols := make([]*bgw.SharedVec, n)
+	cols := make([]bgw.Vec, n)
 	for j := 0; j < n; j++ {
 		owner := p.partyOf(p.clientOf(j, n))
 		cols[j] = eng.InputVec(owner, data.Col(j))
@@ -160,7 +162,7 @@ func bgwPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Pa
 	// Per-client noise shares are inputs of the same round.
 	noiseStart := time.Now()
 	d := q.Source.OutDim()
-	noiseShared := make([]*bgw.Shared, d)
+	noiseShared := make([]bgw.Val, d)
 	for t := 0; t < d; t++ {
 		acc := eng.Zero()
 		for j, shares := range noise {
@@ -173,22 +175,22 @@ func bgwPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Pa
 	eng.AdvanceRound()
 
 	// Pre-compute column sums (local) for degree-1 monomials.
-	var colSum []*bgw.Shared
-	lazyColSum := func(j int) *bgw.Shared {
+	var colSum []bgw.Val
+	lazyColSum := func(j int) bgw.Val {
 		if colSum == nil {
-			colSum = make([]*bgw.Shared, n)
+			colSum = make([]bgw.Val, n)
 		}
 		if colSum[j] == nil {
 			acc := eng.Zero()
 			for i := 0; i < m; i++ {
-				acc = eng.Add(acc, cols[j].At(i))
+				acc = eng.Add(acc, eng.At(cols[j], i))
 			}
 			colSum[j] = acc
 		}
 		return colSum[j]
 	}
 
-	out := make([]*bgw.Shared, d)
+	out := make([]bgw.Val, d)
 	mulLayers := 0
 	for t, pol := range q.Source.Dims {
 		acc := eng.Zero()
@@ -209,13 +211,13 @@ func bgwPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Pa
 				// resharing at a time.
 				sum := eng.Zero()
 				for i := 0; i < m; i++ {
-					var prod *bgw.Shared
+					var prod bgw.Val
 					for j, e := range mono.Exps {
 						for k := 0; k < e; k++ {
 							if prod == nil {
-								prod = cols[j].At(i)
+								prod = eng.At(cols[j], i)
 							} else {
-								prod = eng.Mul(prod, cols[j].At(i))
+								prod = eng.Mul(prod, eng.At(cols[j], i))
 							}
 						}
 					}
@@ -235,6 +237,9 @@ func bgwPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Pa
 		scaled[t] = eng.Open(s)
 	}
 	eng.AdvanceRound() // output round
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	tr.Stats = eng.Stats()
 	return scaled, nil
 }

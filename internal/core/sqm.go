@@ -33,6 +33,7 @@ import (
 	"sqm/internal/bgw"
 	"sqm/internal/field"
 	"sqm/internal/randx"
+	"sqm/internal/transport"
 )
 
 // EngineKind selects the evaluation backend.
@@ -41,12 +42,56 @@ type EngineKind int
 const (
 	// EnginePlain evaluates the quantized integers directly. Because
 	// BGW computes exactly, the output distribution is identical to
-	// EngineBGW; this is the fast path for utility experiments.
+	// the MPC engines; this is the fast path for utility experiments.
 	EnginePlain EngineKind = iota
-	// EngineBGW runs the real secret-shared protocol and meters
-	// rounds, messages and simulated network time.
+	// EngineBGW runs the secret-shared protocol with the monolithic
+	// engine that simulates all parties in one goroutine and models
+	// the communication counters.
 	EngineBGW
+	// EngineActorBGW runs the secret-shared protocol with one actor
+	// goroutine per party exchanging shares over an in-memory channel
+	// mesh; messages and bytes are measured from real traffic.
+	EngineActorBGW
+	// EngineActorBGWNet is EngineActorBGW with the share traffic
+	// carried over localhost TCP sockets using the session layer's
+	// framing.
+	EngineActorBGWNet
 )
+
+// IsMPC reports whether the kind runs the real secret-shared protocol.
+func (k EngineKind) IsMPC() bool {
+	return k == EngineBGW || k == EngineActorBGW || k == EngineActorBGWNet
+}
+
+// String names the kind as accepted by the CLI's -engine flag.
+func (k EngineKind) String() string {
+	switch k {
+	case EnginePlain:
+		return "plain"
+	case EngineBGW:
+		return "bgw"
+	case EngineActorBGW:
+		return "actor"
+	case EngineActorBGWNet:
+		return "actor-net"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// ParseEngineKind maps a CLI name to its engine kind.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "plain":
+		return EnginePlain, nil
+	case "bgw":
+		return EngineBGW, nil
+	case "actor":
+		return EngineActorBGW, nil
+	case "actor-net":
+		return EngineActorBGWNet, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q (want plain, bgw, actor or actor-net)", s)
+}
 
 // Params configures one SQM invocation.
 type Params struct {
@@ -73,7 +118,7 @@ func (p *Params) normalize(cols int) error {
 	if p.NumClients < 1 {
 		return fmt.Errorf("core: need at least one client, got %d", p.NumClients)
 	}
-	if p.Engine == EngineBGW {
+	if p.Engine.IsMPC() {
 		if p.Parties == 0 {
 			p.Parties = 4
 		}
@@ -99,10 +144,35 @@ func (p *Params) clientOf(col, cols int) int {
 
 // partyOf maps a client to the BGW party simulating it.
 func (p *Params) partyOf(client int) int {
-	if p.Engine != EngineBGW {
+	if !p.Engine.IsMPC() {
 		return 0
 	}
 	return client % p.Parties
+}
+
+// newEvaluator constructs the MPC backend selected by p.Engine. The
+// seed perturbation keeps each protocol's share randomness on its own
+// stream, as before the backends became pluggable. The caller owns the
+// evaluator and must Close it.
+func (p *Params) newEvaluator(seedXor uint64) (bgw.Evaluator, error) {
+	cfg := bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ seedXor}
+	switch p.Engine {
+	case EngineBGW:
+		eng, err := bgw.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return bgw.Eval(eng), nil
+	case EngineActorBGW:
+		return bgw.NewActorEngine(cfg, transport.NewChanMesh(cfg.Parties))
+	case EngineActorBGWNet:
+		mesh, err := transport.NewTCPMesh(cfg.Parties)
+		if err != nil {
+			return nil, err
+		}
+		return bgw.NewActorEngine(cfg, mesh)
+	}
+	return nil, errUnknownEngine(p.Engine)
 }
 
 // Trace reports diagnostics of one SQM invocation: the scaled integer

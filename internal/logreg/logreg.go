@@ -230,6 +230,7 @@ func TrainSQM(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer proto.Close()
 	g := randx.New(cfg.Seed ^ 0x5e4d)
 	w := initWeights(x.Cols, g)
 	expBatch := cfg.SampleRate * float64(x.Rows)
@@ -266,6 +267,7 @@ func TrainSQMOrder3(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 	}
 	d2, d1 := proto.Sensitivity()
 	mu, err := dp.CalibrateSkellamMu(cfg.Eps, cfg.Delta, d1, d2, cfg.SampleRate, cfg.Rounds())
+	proto.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -281,6 +283,7 @@ func TrainSQMOrder3(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer proto.Close()
 	g := randx.New(cfg.Seed ^ 0x5e4e)
 	w := initWeights(x.Cols, g)
 	expBatch := cfg.SampleRate * float64(x.Rows)

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -33,28 +34,89 @@ type SessionOutcome struct {
 // client's view is returned; the coordinator's error (if any) comes
 // back separately.
 func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
+	if err := validateSession(p, len(hooks)); err != nil {
+		return nil, err
+	}
 	n := len(hooks)
+	cliConns := make([]net.Conn, n)
+	srvConns := make([]net.Conn, n)
+	for i := 0; i < n; i++ {
+		cliConns[i], srvConns[i] = net.Pipe()
+	}
+	return runSession(p, hooks, evaluate, cliConns, srvConns)
+}
+
+// RunSessionTCP is RunSession with every client connected to the
+// coordinator over a real localhost TCP socket instead of a net.Pipe,
+// so the session frames cross the loopback stack. Combined with an
+// evaluate callback backed by core's socket-transport engine, a whole
+// SQM session runs with genuine network traffic end to end.
+func RunSessionTCP(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
+	if err := validateSession(p, len(hooks)); err != nil {
+		return nil, err
+	}
+	n := len(hooks)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("protocol: listen: %w", err)
+	}
+	defer ln.Close()
+	cliConns := make([]net.Conn, n)
+	srvConns := make([]net.Conn, n)
+	closeAll := func() {
+		for i := 0; i < n; i++ {
+			if cliConns[i] != nil {
+				cliConns[i].Close()
+			}
+			if srvConns[i] != nil {
+				srvConns[i].Close()
+			}
+		}
+	}
+	// Sequential dial-then-accept keeps the client→connection mapping
+	// deterministic; the hello's session id re-validates it.
+	for i := 0; i < n; i++ {
+		cli, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("protocol: dial client %d: %w", i, err)
+		}
+		cliConns[i] = cli
+		srv, err := ln.Accept()
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("protocol: accept client %d: %w", i, err)
+		}
+		srvConns[i] = srv
+	}
+	return runSession(p, hooks, evaluate, cliConns, srvConns)
+}
+
+func validateSession(p Params, n int) error {
 	if n == 0 {
-		return nil, fmt.Errorf("protocol: no clients")
+		return fmt.Errorf("protocol: no clients")
 	}
 	if p.NumClients != uint32(n) {
-		return nil, fmt.Errorf("protocol: params announce %d clients but %d are wired", p.NumClients, n)
+		return fmt.Errorf("protocol: params announce %d clients but %d are wired", p.NumClients, n)
 	}
 	if p.Rounds == 0 {
-		return nil, fmt.Errorf("protocol: at least one round required")
+		return fmt.Errorf("protocol: at least one round required")
 	}
+	return nil
+}
 
+// runSession drives the lifecycle over pre-established connection pairs
+// (cliConns[i] is client i's end, srvConns[i] the coordinator's).
+func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error), cliConns, srvConns []net.Conn) ([]SessionOutcome, error) {
+	n := len(hooks)
 	outcomes := make([]SessionOutcome, n)
 	servers := make([]*ServerSession, n)
-	srvConns := make([]net.Conn, n)
 	var clientWG sync.WaitGroup
 	for i := 0; i < n; i++ {
-		cliConn, srvConn := net.Pipe()
-		srvConns[i] = srvConn
-		servers[i] = &ServerSession{ID: uint32(i + 1), Transport: srvConn}
+		servers[i] = &ServerSession{ID: uint32(i + 1), Transport: srvConns[i]}
 		cs := &ClientSession{
 			ID:            uint32(i + 1),
-			Transport:     cliConn,
+			Transport:     cliConns[i],
 			OnParams:      hooks[i].OnParams,
 			OnEvalRequest: hooks[i].OnEvalRequest,
 		}
@@ -70,7 +132,7 @@ func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 				return
 			}
 			outcomes[i].Results, outcomes[i].Err = cs.Serve()
-		}(i, cs, cliConn)
+		}(i, cs, cliConns[i])
 	}
 
 	coordErr := func() error {
@@ -112,7 +174,9 @@ func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 
 // forAll runs op against every server session concurrently (net.Pipe is
 // synchronous, so sequential execution would deadlock against clients
-// that are mid-write).
+// that are mid-write). All per-session errors are collected and joined,
+// so a multi-client failure reports every broken session, not just the
+// first.
 func forAll(servers []*ServerSession, op func(*ServerSession) error) error {
 	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
@@ -120,16 +184,13 @@ func forAll(servers []*ServerSession, op func(*ServerSession) error) error {
 		wg.Add(1)
 		go func(i int, s *ServerSession) {
 			defer wg.Done()
-			errs[i] = op(s)
+			if err := op(s); err != nil {
+				errs[i] = fmt.Errorf("session %d: %w", s.ID, err)
+			}
 		}(i, s)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func abortAll(servers []*ServerSession, reason string) {

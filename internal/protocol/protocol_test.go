@@ -6,11 +6,6 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
-
-	"sqm/internal/core"
-	"sqm/internal/linalg"
-	"sqm/internal/poly"
-	"sqm/internal/randx"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -249,48 +244,5 @@ func TestSessionStateMachineRejectsOutOfOrder(t *testing.T) {
 	}
 	if err := s.SendResult(Result{}, true); !errors.Is(err, ErrBadTransition) {
 		t.Fatalf("SendResult in New: %v", err)
-	}
-}
-
-// TestRunSessionDrivesRealSQM wires the session layer to the actual
-// mechanism: the coordinator's evaluate callback runs Algorithm 3 and
-// every client receives the same scaled outputs it would have opened in
-// the MPC.
-func TestRunSessionDrivesRealSQM(t *testing.T) {
-	g := randx.New(3)
-	x := linalg.NewMatrix(20, 3)
-	for i := range x.Data {
-		x.Data[i] = g.Gaussian(0, 0.3)
-	}
-	f := poly.MustMulti(poly.MustPolynomial(3,
-		poly.Monomial{Coef: 1, Exps: []int{1, 1, 0}},
-		poly.Monomial{Coef: 0.5, Exps: []int{0, 0, 2}},
-	))
-	params := Params{Gamma: 256, Mu: 10, NumClients: 3, OutDim: 1, Rounds: 2, Seed: 77}
-	hooks := make([]ClientHooks, 3)
-	var traces []*core.Trace
-	outcomes, err := RunSession(params, hooks, func(round uint32) ([]int64, error) {
-		_, tr, err := core.EvaluatePolynomialSum(f, x, core.Params{
-			Gamma: params.Gamma, Mu: params.Mu, NumClients: 3,
-			Seed: params.Seed + uint64(round),
-		})
-		if err != nil {
-			return nil, err
-		}
-		traces = append(traces, tr)
-		return tr.Scaled, nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, o := range outcomes {
-		if o.Err != nil {
-			t.Fatalf("client %d: %v", o.Client, o.Err)
-		}
-		for r, res := range o.Results {
-			if res.Scaled[0] != traces[r].Scaled[0] {
-				t.Fatalf("client %d round %d: %d != %d", o.Client, r, res.Scaled[0], traces[r].Scaled[0])
-			}
-		}
 	}
 }

@@ -163,6 +163,10 @@ func (c *ClientSession) Serve() ([]Result, error) {
 			if err != nil {
 				return results, err
 			}
+			if r.Round != uint32(len(results)) {
+				c.state = StateAborted
+				return results, fmt.Errorf("protocol: result for round %d, expected round %d", r.Round, uint32(len(results)))
+			}
 			results = append(results, r)
 			if uint32(len(results)) == want {
 				c.state = StateDone

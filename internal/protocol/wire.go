@@ -43,6 +43,10 @@ const (
 	MsgResult
 	// MsgError aborts the session with a reason.
 	MsgError
+	// MsgShare carries secret-share traffic between MPC parties (the
+	// transport layer of the actor-BGW engine); Session holds the
+	// sender's party id. Control sessions never emit it.
+	MsgShare
 )
 
 // String names the message type.
@@ -62,6 +66,8 @@ func (t MsgType) String() string {
 		return "Result"
 	case MsgError:
 		return "Error"
+	case MsgShare:
+		return "Share"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

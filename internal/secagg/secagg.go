@@ -12,10 +12,15 @@
 package secagg
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sqm/internal/field"
 	"sqm/internal/randx"
+	"sqm/internal/transport"
 )
 
 // Group is one aggregation cohort over a fixed client set and vector
@@ -27,7 +32,7 @@ type Group struct {
 	// a deployment these come from a Diffie-Hellman exchange, here from
 	// the group seed.
 	pairSeed [][]uint64
-	messages int64
+	messages atomic.Int64
 }
 
 // NewGroup prepares a cohort of n clients aggregating length-sized
@@ -90,7 +95,7 @@ func (g *Group) Mask(client int, round uint64, values []int64) ([]field.Elem, er
 			}
 		}
 	}
-	g.messages++
+	g.messages.Add(1)
 	return out, nil
 }
 
@@ -119,7 +124,91 @@ func (g *Group) Aggregate(masked [][]field.Elem) ([]int64, error) {
 
 // Messages returns the client→server messages sent so far (one per
 // Mask call; the pairwise key agreement is a one-time setup).
-func (g *Group) Messages() int64 { return g.messages }
+func (g *Group) Messages() int64 { return g.messages.Load() }
+
+// AggregateOver runs one aggregation round with every client on its own
+// goroutine and the masked vectors carried over a transport mesh:
+// client j masks values[j] and sends it to endpoint 0, which plays the
+// aggregator, sums the contributions (the masks cancel) and decodes the
+// signed totals. The same channel or TCP meshes that carry the BGW
+// share traffic work here, so the masked messages are real traffic with
+// measured counters.
+func (g *Group) AggregateOver(mesh transport.Mesh, round uint64, values [][]int64) ([]int64, error) {
+	if mesh.Parties() != g.n {
+		return nil, fmt.Errorf("secagg: mesh has %d endpoints for %d clients", mesh.Parties(), g.n)
+	}
+	if len(values) != g.n {
+		return nil, fmt.Errorf("secagg: got %d contributions, want all %d clients", len(values), g.n)
+	}
+	errs := make([]error, g.n)
+	var total []int64
+	var wg sync.WaitGroup
+	for j := 0; j < g.n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			conn := mesh.Conn(j)
+			masked, err := g.Mask(j, round, values[j])
+			if err != nil {
+				errs[j] = err
+				conn.Close()
+				return
+			}
+			if j != 0 {
+				buf := make([]byte, 8*g.length)
+				for k, v := range masked {
+					binary.BigEndian.PutUint64(buf[8*k:], uint64(v))
+				}
+				errs[j] = conn.Send(0, buf)
+				return
+			}
+			// Endpoint 0 aggregates: own contribution plus one message
+			// from every other client.
+			acc := masked
+			for from := 1; from < g.n; from++ {
+				buf, err := conn.Recv(from)
+				if err != nil {
+					errs[0] = err
+					conn.Close()
+					return
+				}
+				if len(buf) != 8*g.length {
+					errs[0] = fmt.Errorf("secagg: contribution from client %d has %d bytes, want %d", from, len(buf), 8*g.length)
+					conn.Close()
+					return
+				}
+				for k := range acc {
+					acc[k] = field.Add(acc[k], field.Elem(binary.BigEndian.Uint64(buf[8*k:])))
+				}
+			}
+			out := make([]int64, g.length)
+			for k, v := range acc {
+				out[k] = field.ToInt64(v)
+			}
+			total = out
+		}(j)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// AggregateNoiseOver is AggregateNoise with the masked shares carried
+// over a transport mesh; bit-identical to AggregateNoise for the same
+// RNG streams.
+func (g *Group) AggregateNoiseOver(mesh transport.Mesh, round uint64, mu float64, clientRNGs []*randx.RNG) ([]int64, error) {
+	if len(clientRNGs) != g.n {
+		return nil, fmt.Errorf("secagg: %d RNGs for %d clients", len(clientRNGs), g.n)
+	}
+	share := mu / float64(g.n)
+	values := make([][]int64, g.n)
+	for j := 0; j < g.n; j++ {
+		values[j] = clientRNGs[j].SkellamVec(g.length, share)
+	}
+	return g.AggregateOver(mesh, round, values)
+}
 
 // AggregateNoise is the SQM convenience: every client samples its
 // Skellam share Sk(mu/n) per coordinate locally, masks it, and the

@@ -1,0 +1,124 @@
+package secagg
+
+import (
+	"testing"
+
+	"sqm/internal/randx"
+	"sqm/internal/transport"
+)
+
+func meshesFor(t *testing.T, n int) map[string]transport.Mesh {
+	t.Helper()
+	tcp, err := transport.NewTCPMesh(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]transport.Mesh{"chan": transport.NewChanMesh(n), "tcp": tcp}
+}
+
+func TestAggregateOverMatchesAggregate(t *testing.T) {
+	inputs := [][]int64{
+		{1, -2, 3},
+		{10, 20, -30},
+		{0, 5, 5},
+		{-7, 0, 2},
+	}
+	want := []int64{4, 23, -20}
+
+	for name, mesh := range meshesFor(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			defer mesh.Close()
+			g, err := NewGroup(4, 3, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.AggregateOver(mesh, 0, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("aggregate = %v, want %v", got, want)
+				}
+			}
+			if g.Messages() != 4 {
+				t.Fatalf("mask messages = %d, want 4", g.Messages())
+			}
+			// The masked vectors of clients 1..3 actually crossed the
+			// mesh: 3 messages of 8·3 bytes each.
+			msgs, bytes := mesh.Counters()
+			if msgs != 3 || bytes != 3*8*3 {
+				t.Fatalf("mesh counters = (%d, %d), want (3, 72)", msgs, bytes)
+			}
+		})
+	}
+}
+
+func TestAggregateNoiseOverMatchesAggregateNoise(t *testing.T) {
+	const clients, length = 3, 5
+	mkRNGs := func() []*randx.RNG {
+		root := randx.New(19)
+		rngs := make([]*randx.RNG, clients)
+		for i := range rngs {
+			rngs[i] = root.Fork()
+		}
+		return rngs
+	}
+	ref, err := NewGroup(clients, length, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.AggregateNoise(2, 12, mkRNGs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mesh := range meshesFor(t, clients) {
+		t.Run(name, func(t *testing.T) {
+			defer mesh.Close()
+			g, err := NewGroup(clients, length, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.AggregateNoiseOver(mesh, 2, 12, mkRNGs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%s: noise aggregate %v, want %v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestAggregateOverValidation(t *testing.T) {
+	g, err := NewGroup(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := transport.NewChanMesh(4)
+	defer mesh.Close()
+	if _, err := g.AggregateOver(mesh, 0, make([][]int64, 3)); err == nil {
+		t.Fatal("mesh size mismatch must error")
+	}
+	mesh3 := transport.NewChanMesh(3)
+	defer mesh3.Close()
+	if _, err := g.AggregateOver(mesh3, 0, make([][]int64, 2)); err == nil {
+		t.Fatal("missing contribution must error")
+	}
+}
+
+func TestAggregateOverBadVectorFailsEveryone(t *testing.T) {
+	g, err := NewGroup(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := transport.NewChanMesh(3)
+	defer mesh.Close()
+	values := [][]int64{{1, 2}, {3}, {5, 6}} // client 1's vector is short
+	if _, err := g.AggregateOver(mesh, 0, values); err == nil {
+		t.Fatal("a malformed contribution must fail the round")
+	}
+}

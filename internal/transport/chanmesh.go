@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ChanMesh is the in-memory fast path: each directed pair of parties owns an
+// unbounded FIFO queue guarded by a mutex and condition variable. Sends
+// append and never block; receives pop in order. All state is owned by
+// the queue locks, so the mesh is race-clean under `go test -race` and
+// delivery is deterministic per pair.
+type ChanMesh struct {
+	p        int
+	queues   [][]*queue // queues[from][to]
+	conns    []*chanConn
+	messages atomic.Int64
+	bytes    atomic.Int64
+	closed   atomic.Bool
+}
+
+// queue is an unbounded FIFO with close semantics.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  [][]byte
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(b []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, b)
+	q.cond.Signal()
+	return nil
+}
+
+func (q *queue) pop() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, ErrClosed
+	}
+	b := q.items[0]
+	q.items = q.items[1:]
+	return b, nil
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// NewChanMesh builds a fully connected in-memory mesh of p parties.
+func NewChanMesh(p int) *ChanMesh {
+	if p < 2 {
+		panic(fmt.Sprintf("transport: mesh needs at least 2 parties, got %d", p))
+	}
+	m := &ChanMesh{p: p, queues: make([][]*queue, p), conns: make([]*chanConn, p)}
+	for i := 0; i < p; i++ {
+		m.queues[i] = make([]*queue, p)
+		for j := 0; j < p; j++ {
+			if i != j {
+				m.queues[i][j] = newQueue()
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		m.conns[i] = &chanConn{mesh: m, id: i}
+	}
+	return m
+}
+
+// Parties returns P.
+func (m *ChanMesh) Parties() int { return m.p }
+
+// Conn returns party i's endpoint.
+func (m *ChanMesh) Conn(party int) PartyConn { return m.conns[party] }
+
+// Counters returns the cumulative traffic.
+func (m *ChanMesh) Counters() (messages, bytes int64) {
+	return m.messages.Load(), m.bytes.Load()
+}
+
+// Close wakes every blocked receiver with ErrClosed.
+func (m *ChanMesh) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	for i := range m.queues {
+		for j, q := range m.queues[i] {
+			if i != j {
+				q.close()
+			}
+		}
+	}
+	return nil
+}
+
+// chanConn is one party's endpoint of a ChanMesh.
+type chanConn struct {
+	mesh *ChanMesh
+	id   int
+}
+
+func (c *chanConn) ID() int      { return c.id }
+func (c *chanConn) Parties() int { return c.mesh.p }
+
+func (c *chanConn) Send(to int, payload []byte) error {
+	if to == c.id || to < 0 || to >= c.mesh.p {
+		return fmt.Errorf("transport: party %d cannot send to %d", c.id, to)
+	}
+	if err := c.mesh.queues[c.id][to].push(payload); err != nil {
+		return err
+	}
+	c.mesh.messages.Add(1)
+	c.mesh.bytes.Add(int64(len(payload)))
+	return nil
+}
+
+func (c *chanConn) Recv(from int) ([]byte, error) {
+	if from == c.id || from < 0 || from >= c.mesh.p {
+		return nil, fmt.Errorf("transport: party %d cannot receive from %d", c.id, from)
+	}
+	return c.mesh.queues[from][c.id].pop()
+}
+
+// Close tears down every queue touching this party, so peers blocked on
+// its traffic fail fast instead of hanging — the abort path of a party
+// that died mid-round.
+func (c *chanConn) Close() error {
+	for other := 0; other < c.mesh.p; other++ {
+		if other == c.id {
+			continue
+		}
+		c.mesh.queues[c.id][other].close()
+		c.mesh.queues[other][c.id].close()
+	}
+	return nil
+}

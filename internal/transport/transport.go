@@ -1,0 +1,56 @@
+// Package transport abstracts the message fabric the BGW party actors
+// communicate over. Every BGW multiplication is a resharing *round*
+// between distrusting parties, so the share traffic itself must be able
+// to flow over a pluggable medium: an in-memory channel mesh for
+// simulation (fast, deterministic, race-clean) and a TCP mesh speaking
+// the session layer's length-prefixed framing for deployments.
+//
+// A Mesh is a set of P pairwise-connected endpoints; party i drives its
+// PartyConn from its own goroutine. Sends never block the sender (each
+// directed pair has an unbounded FIFO queue), which is what makes the
+// all-send-then-all-receive pattern of a resharing round deadlock-free
+// regardless of how far ahead one party has run. Receives block until a
+// message from the named peer arrives or the connection dies.
+package transport
+
+import "errors"
+
+// ErrClosed reports an operation on a closed mesh or connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// PartyConn is one party's endpoint in a P-party mesh. It is driven by
+// exactly one goroutine (the owning party actor); implementations need
+// not support concurrent Send/Recv from multiple goroutines of the same
+// party, but different parties always operate concurrently.
+type PartyConn interface {
+	// ID returns this endpoint's party index in [0, Parties()).
+	ID() int
+	// Parties returns P.
+	Parties() int
+	// Send enqueues payload for party to. It never blocks on the
+	// receiver and must not be called with to == ID(). The payload is
+	// owned by the transport after the call.
+	Send(to int, payload []byte) error
+	// Recv blocks until the next payload from party from arrives.
+	// Messages from one sender are delivered in send order (per-pair
+	// FIFO); ordering across senders is unspecified.
+	Recv(from int) ([]byte, error)
+	// Close tears down this endpoint; pending and future Recvs on any
+	// party blocked on this endpoint's traffic fail with ErrClosed (or
+	// an EOF-like error for socket meshes).
+	Close() error
+}
+
+// Mesh is a set of P pairwise-connected party endpoints plus traffic
+// counters, so protocol statistics are measured rather than modeled.
+type Mesh interface {
+	// Parties returns P.
+	Parties() int
+	// Conn returns party i's endpoint.
+	Conn(party int) PartyConn
+	// Counters returns the cumulative messages sent and payload bytes
+	// carried since the mesh was created.
+	Counters() (messages, bytes int64)
+	// Close tears down every endpoint.
+	Close() error
+}

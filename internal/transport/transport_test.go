@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// meshes returns one fresh instance of every Mesh implementation,
+// keyed by name, so every behavioral test runs against both.
+func meshes(t *testing.T, p int) map[string]Mesh {
+	t.Helper()
+	tcp, err := NewTCPMesh(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Mesh{"chan": NewChanMesh(p), "tcp": tcp}
+}
+
+func TestMeshExchange(t *testing.T) {
+	const p = 4
+	for name, mesh := range meshes(t, p) {
+		t.Run(name, func(t *testing.T) {
+			defer mesh.Close()
+			// Every party sends one tagged payload to every other party,
+			// then receives from every peer and checks the tag.
+			var wg sync.WaitGroup
+			errs := make([]error, p)
+			for i := 0; i < p; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					conn := mesh.Conn(i)
+					for j := 0; j < p; j++ {
+						if j == i {
+							continue
+						}
+						if err := conn.Send(j, []byte(fmt.Sprintf("%d->%d", i, j))); err != nil {
+							errs[i] = err
+							return
+						}
+					}
+					for j := 0; j < p; j++ {
+						if j == i {
+							continue
+						}
+						got, err := conn.Recv(j)
+						if err != nil {
+							errs[i] = err
+							return
+						}
+						if want := fmt.Sprintf("%d->%d", j, i); string(got) != want {
+							errs[i] = fmt.Errorf("party %d got %q from %d, want %q", i, got, j, want)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("party %d: %v", i, err)
+				}
+			}
+			msgs, bytes := mesh.Counters()
+			if want := int64(p * (p - 1)); msgs != want {
+				t.Errorf("messages = %d, want %d", msgs, want)
+			}
+			if bytes <= 0 {
+				t.Errorf("bytes = %d, want > 0", bytes)
+			}
+		})
+	}
+}
+
+func TestMeshFIFOPerPair(t *testing.T) {
+	const n = 200
+	for name, mesh := range meshes(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer mesh.Close()
+			done := make(chan error, 1)
+			go func() {
+				conn := mesh.Conn(1)
+				for k := 0; k < n; k++ {
+					got, err := conn.Recv(0)
+					if err != nil {
+						done <- err
+						return
+					}
+					if string(got) != fmt.Sprintf("m%d", k) {
+						done <- fmt.Errorf("message %d arrived as %q", k, got)
+						return
+					}
+				}
+				done <- nil
+			}()
+			sender := mesh.Conn(0)
+			for k := 0; k < n; k++ {
+				if err := sender.Send(1, []byte(fmt.Sprintf("m%d", k))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMeshSendNeverBlocks(t *testing.T) {
+	// The deadlock-freedom contract: a party may send arbitrarily far
+	// ahead of a receiver that has not started reading.
+	for name, mesh := range meshes(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer mesh.Close()
+			conn := mesh.Conn(0)
+			payload := make([]byte, 1024)
+			for k := 0; k < 500; k++ {
+				if err := conn.Send(1, payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Drain a few to prove delivery still works.
+			rx := mesh.Conn(1)
+			for k := 0; k < 500; k++ {
+				if _, err := rx.Recv(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestMeshCloseUnblocksRecv(t *testing.T) {
+	for name, mesh := range meshes(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer mesh.Close()
+			done := make(chan error, 1)
+			go func() {
+				_, err := mesh.Conn(1).Recv(0)
+				done <- err
+			}()
+			if err := mesh.Conn(0).Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err == nil {
+				t.Fatal("Recv from a closed peer must fail")
+			}
+			// Sends to / from the dead endpoint fail from now on.
+			if err := mesh.Conn(0).Send(1, []byte("x")); err == nil {
+				t.Fatal("Send on a closed endpoint must fail")
+			}
+		})
+	}
+}
+
+func TestMeshCloseIsIdempotent(t *testing.T) {
+	for name, mesh := range meshes(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			if err := mesh.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := mesh.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if _, err := mesh.Conn(0).Recv(1); err == nil {
+				t.Fatal("Recv after mesh Close must fail")
+			}
+		})
+	}
+}
+
+func TestChanMeshClosedErrIsErrClosed(t *testing.T) {
+	mesh := NewChanMesh(3)
+	mesh.Close()
+	if _, err := mesh.Conn(0).Recv(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := mesh.Conn(0).Send(1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMeshCountersMeasureBytes(t *testing.T) {
+	for name, mesh := range meshes(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer mesh.Close()
+			if err := mesh.Conn(0).Send(1, make([]byte, 48)); err != nil {
+				t.Fatal(err)
+			}
+			if err := mesh.Conn(2).Send(1, make([]byte, 16)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mesh.Conn(1).Recv(0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mesh.Conn(1).Recv(2); err != nil {
+				t.Fatal(err)
+			}
+			msgs, bytes := mesh.Counters()
+			if msgs != 2 || bytes != 64 {
+				t.Fatalf("counters = (%d msgs, %d bytes), want (2, 64)", msgs, bytes)
+			}
+		})
+	}
+}

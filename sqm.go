@@ -95,11 +95,21 @@ type Trace = core.Trace
 type EngineKind = core.EngineKind
 
 // Evaluation backends: EnginePlain computes the identical integers
-// without secret sharing; EngineBGW runs the real MPC protocol.
+// without secret sharing; EngineBGW runs the monolithic MPC engine;
+// EngineActorBGW runs one goroutine per party exchanging shares over an
+// in-memory message mesh; EngineActorBGWNet does the same over
+// localhost TCP sockets. All four open bit-identical results for the
+// same Params.
 const (
-	EnginePlain = core.EnginePlain
-	EngineBGW   = core.EngineBGW
+	EnginePlain       = core.EnginePlain
+	EngineBGW         = core.EngineBGW
+	EngineActorBGW    = core.EngineActorBGW
+	EngineActorBGWNet = core.EngineActorBGWNet
 )
+
+// ParseEngineKind maps a backend name ("plain", "bgw", "actor",
+// "actor-net") to its EngineKind.
+func ParseEngineKind(s string) (EngineKind, error) { return core.ParseEngineKind(s) }
 
 // ErrFieldOverflow reports that an aggregate cannot fit the MPC field.
 var ErrFieldOverflow = core.ErrFieldOverflow
@@ -422,6 +432,14 @@ type SessionResult = protocol.Result
 // after every client finished its protocol work.
 func RunVFLSession(p SessionParams, hooks []SessionClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
 	return protocol.RunSession(p, hooks, evaluate)
+}
+
+// RunVFLSessionTCP is RunVFLSession with every client connected to the
+// coordinator over a real localhost TCP socket, so the session frames
+// cross the loopback stack. Pair it with an EngineActorBGWNet evaluate
+// callback to run the whole pipeline over genuine network traffic.
+func RunVFLSessionTCP(p SessionParams, hooks []SessionClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
+	return protocol.RunSessionTCP(p, hooks, evaluate)
 }
 
 // ---- Model persistence ----

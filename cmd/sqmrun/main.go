@@ -7,8 +7,13 @@
 //
 // Rows are clipped to L2 norm 1 (and labels validated per task) before
 // the mechanism runs — the DP guarantee is stated for the clipped data.
-// Results go to stdout as CSV (use -out to write a file). The logic
-// lives in internal/cli.
+// Results go to stdout as CSV (use -out to write a file).
+//
+// -engine selects the evaluation backend (plain, bgw, actor,
+// actor-net); -v, -log-format and -debug-addr turn on structured
+// telemetry, a /metrics + pprof endpoint and a privacy-budget ledger.
+// See README.md for the full flag reference. The logic lives in
+// internal/cli.
 package main
 
 import (

@@ -10,12 +10,19 @@
 // runs the party-actor BGW engine whose share messages travel over
 // their own TCP mesh (EngineActorBGWNet).
 //
+// The run is fully instrumented: a telemetry recorder captures the
+// session lifecycle events, the BGW round spans and the mesh traffic
+// counters on stderr, a privacy-budget ledger reports the running ε(δ)
+// after each noise release, and the final metrics registry is dumped at
+// the end.
+//
 // Run with: go run ./examples/vflsession
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sqm"
 )
@@ -47,6 +54,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Telemetry: structured events on stderr plus a metrics registry
+	// shared by the session coordinator, the BGW engines and the TCP
+	// meshes. The accountant ledger reports the running ε(δ) after each
+	// of the two per-round Skellam releases.
+	rec := sqm.NewLogRecorder(os.Stderr, "text", sqm.LevelInfo)
+	const delta = 1e-5
+	acct := sqm.NewAccountant(0)
+	acct.Observe(rec, delta)
+	acct.SetBudget(2.5) // two rounds at eps=1 each compose below this
+
 	params := sqm.SessionParams{
 		Gamma: gamma, Mu: mu, NumClients: 3, OutDim: 1, Rounds: 2, Seed: 11,
 	}
@@ -70,14 +87,17 @@ func main() {
 		_, tr, err := sqm.EvaluatePolynomialSum(f, x, sqm.Params{
 			Gamma: params.Gamma, Mu: params.Mu, NumClients: 3,
 			Engine: sqm.EngineActorBGWNet, Parties: 3,
-			Seed: params.Seed + uint64(round),
+			Seed:     params.Seed + uint64(round),
+			Recorder: rec,
 		})
 		if err != nil {
 			return nil, err
 		}
+		// One Skellam release per round enters the privacy ledger.
+		acct.AddSkellam(delta2*1.8, delta2, params.Mu)
 		scale = tr.Scale
 		return tr.Scaled, nil
-	})
+	}, sqm.WithSessionRecorder(rec))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,4 +115,10 @@ func main() {
 	}
 	fmt.Println("\nevery client saw the identical DP-protected aggregate; the session layer")
 	fmt.Println("enforces that noise commitment precedes every evaluation round.")
+
+	eps, alpha := acct.Epsilon(delta)
+	fmt.Printf("\nprivacy ledger: eps(delta=%g) = %.4f @ alpha=%d over %d release(s)\n",
+		delta, eps, alpha, acct.Releases())
+	fmt.Fprintln(os.Stderr, "\nfinal metrics:")
+	rec.Metrics().WriteTo(os.Stderr)
 }

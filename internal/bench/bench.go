@@ -18,11 +18,11 @@ import (
 
 // Table is a printable experiment result.
 type Table struct {
-	ID     string // "fig2-kddcup", "table2", ...
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"` // "fig2-kddcup", "table2", ...
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // WriteCSV emits the table as RFC-4180 CSV (header row first).

@@ -17,19 +17,25 @@ import (
 // same fixed-message-cost simulation the paper uses. Extrapolated cells
 // carry a trailing '*'.
 
-// timingResult is one cell of a timing table.
+// timingResult is one cell of a timing table. total and noise follow
+// the paper's model (measured compute + rounds × latency); measured is
+// the raw wall-clock the protocol actually ran for on this machine (the
+// calibration run's wall-clock for extrapolated cells), reported
+// alongside so modeled and measured time can be compared directly.
 type timingResult struct {
 	total, noise time.Duration
+	measured     time.Duration
 	extrapolated bool
 }
 
-func (r timingResult) cells() (string, string) {
+func (r timingResult) cells() (string, string, string) {
 	mark := ""
 	if r.extrapolated {
 		mark = "*"
 	}
 	return fmt.Sprintf("%.2f%s", r.total.Seconds(), mark),
-		fmt.Sprintf("%.2f%s", r.noise.Seconds(), mark)
+		fmt.Sprintf("%.2f%s", r.noise.Seconds(), mark),
+		fmt.Sprintf("%.3f", r.measured.Seconds())
 }
 
 // estimatePCAOps mirrors the bgw package's FieldOps metering for the
@@ -74,7 +80,7 @@ func pcaTiming(o Options, m, n, parties int) timingResult {
 		if err != nil {
 			return timingResult{}
 		}
-		return timingResult{total: tr.TotalTime(), noise: tr.NoiseTime()}
+		return timingResult{total: tr.TotalTime(), noise: tr.NoiseTime(), measured: tr.Compute}
 	}
 	// Calibration run: shrink n until the predicted ops fit a slice of
 	// the budget, then scale the measured per-op cost up.
@@ -96,7 +102,7 @@ func pcaTiming(o Options, m, n, parties int) timingResult {
 	total := time.Duration(float64(est)*secPerOp*float64(time.Second)) + lat
 	noise := time.Duration(float64(estNoise)*noiseSecPerOp*float64(time.Second)) +
 		time.Duration(tr.NoiseRounds)*tr.Lat
-	return timingResult{total: total, noise: noise, extrapolated: true}
+	return timingResult{total: total, noise: noise, measured: tr.Compute, extrapolated: true}
 }
 
 func estNoiseOpsPCA(m, n, parties, threshold int) int64 {
@@ -148,7 +154,7 @@ func lrTiming(o Options, m, n, parties int) timingResult {
 		if err != nil {
 			return timingResult{}
 		}
-		return timingResult{total: tr.TotalTime() + setup, noise: tr.NoiseTime()}
+		return timingResult{total: tr.TotalTime() + setup, noise: tr.NoiseTime(), measured: tr.Compute + setup}
 	}
 	// Extrapolate from a narrower feature set.
 	calD := d
@@ -173,7 +179,7 @@ func lrTiming(o Options, m, n, parties int) timingResult {
 	lat := tr.Stats.NetTime(tr.Lat)
 	total := time.Duration(float64(tr.Compute+setup)*scale) + lat
 	noise := time.Duration(float64(tr.NoiseCompute)*noiseScale) + time.Duration(tr.NoiseRounds)*tr.Lat
-	return timingResult{total: total, noise: noise, extrapolated: true}
+	return timingResult{total: total, noise: noise, measured: tr.Compute + setup, extrapolated: true}
 }
 
 func maxI64(a, b int64) int64 {
@@ -194,18 +200,18 @@ func Table2(o Options) *Table {
 	tbl := &Table{
 		ID:     "table2",
 		Title:  fmt.Sprintf("SQM time costs via BGW (m=%d records, P=4 clients, gamma=18)", m),
-		Header: []string{"task", "n", "overall (s)", "noise injection (s)"},
+		Header: []string{"task", "n", "overall (s)", "noise injection (s)", "measured (s)"},
 		Notes:  []string{"'*' marks cells extrapolated from a calibrated per-op cost (DESIGN.md substitution 3)"},
 	}
 	for _, n := range ns {
 		r := pcaTiming(o, m, n, 4)
-		total, noise := r.cells()
-		tbl.Rows = append(tbl.Rows, []string{"PCA", fmt.Sprint(n), total, noise})
+		total, noise, measured := r.cells()
+		tbl.Rows = append(tbl.Rows, []string{"PCA", fmt.Sprint(n), total, noise, measured})
 	}
 	for _, n := range ns {
 		r := lrTiming(o, m, n, 4)
-		total, noise := r.cells()
-		tbl.Rows = append(tbl.Rows, []string{"LR", fmt.Sprint(n), total, noise})
+		total, noise, measured := r.cells()
+		tbl.Rows = append(tbl.Rows, []string{"LR", fmt.Sprint(n), total, noise, measured})
 	}
 	return tbl
 }
@@ -220,18 +226,18 @@ func Table4(o Options) *Table {
 	tbl := &Table{
 		ID:     "table4",
 		Title:  fmt.Sprintf("SQM time costs via BGW (n=%d attributes, P=4 clients, gamma=18)", n),
-		Header: []string{"task", "m", "overall (s)", "noise injection (s)"},
+		Header: []string{"task", "m", "overall (s)", "noise injection (s)", "measured (s)"},
 		Notes:  []string{"noise-injection time should be flat in m; '*' marks extrapolated cells"},
 	}
 	for _, m := range ms {
 		r := pcaTiming(o, m, n, 4)
-		total, noise := r.cells()
-		tbl.Rows = append(tbl.Rows, []string{"PCA", fmt.Sprint(m), total, noise})
+		total, noise, measured := r.cells()
+		tbl.Rows = append(tbl.Rows, []string{"PCA", fmt.Sprint(m), total, noise, measured})
 	}
 	for _, m := range ms {
 		r := lrTiming(o, m, n, 4)
-		total, noise := r.cells()
-		tbl.Rows = append(tbl.Rows, []string{"LR", fmt.Sprint(m), total, noise})
+		total, noise, measured := r.cells()
+		tbl.Rows = append(tbl.Rows, []string{"LR", fmt.Sprint(m), total, noise, measured})
 	}
 	return tbl
 }
@@ -247,18 +253,18 @@ func Table5(o Options) *Table {
 	tbl := &Table{
 		ID:     "table5",
 		Title:  fmt.Sprintf("SQM time costs via BGW (m=%d, n=%d, gamma=18, sweeping clients P)", m, n),
-		Header: []string{"task", "P", "overall (s)", "noise injection (s)"},
+		Header: []string{"task", "P", "overall (s)", "noise injection (s)", "measured (s)"},
 		Notes:  []string{"both columns grow with P; '*' marks extrapolated cells"},
 	}
 	for _, p := range ps {
 		r := pcaTiming(o, m, n, p)
-		total, noise := r.cells()
-		tbl.Rows = append(tbl.Rows, []string{"PCA", fmt.Sprint(p), total, noise})
+		total, noise, measured := r.cells()
+		tbl.Rows = append(tbl.Rows, []string{"PCA", fmt.Sprint(p), total, noise, measured})
 	}
 	for _, p := range ps {
 		r := lrTiming(o, m, n, p)
-		total, noise := r.cells()
-		tbl.Rows = append(tbl.Rows, []string{"LR", fmt.Sprint(p), total, noise})
+		total, noise, measured := r.cells()
+		tbl.Rows = append(tbl.Rows, []string{"LR", fmt.Sprint(p), total, noise, measured})
 	}
 	return tbl
 }

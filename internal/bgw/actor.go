@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/field"
+	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/shamir"
 	"sqm/internal/transport"
@@ -43,6 +44,12 @@ type ActorEngine struct {
 	closed          bool
 
 	baseRounds, baseMsgs, baseBytes, baseOps int64
+
+	rec         obs.Recorder // nil when telemetry is disabled
+	roundHist   *obs.Histogram
+	opsGauge    *obs.Gauge
+	partyGauges []*obs.Gauge // per-party cumulative field ops
+	lastRound   time.Time
 }
 
 // ActorShared is an opaque handle to one secret-shared scalar whose
@@ -88,6 +95,16 @@ func NewActorEngine(cfg Config, mesh transport.Mesh) (*ActorEngine, error) {
 		lat = DefaultLatency
 	}
 	e := &ActorEngine{p: cfg.Parties, t: t, latency: lat, mesh: mesh}
+	if rec := cfg.Recorder; rec != nil && rec.Metrics() != nil {
+		e.rec = rec
+		e.roundHist = rec.Metrics().Histogram("bgw.round.seconds")
+		e.opsGauge = rec.Metrics().Gauge("bgw.fieldops")
+		e.partyGauges = make([]*obs.Gauge, cfg.Parties)
+		for i := range e.partyGauges {
+			e.partyGauges[i] = rec.Metrics().Gauge(fmt.Sprintf("bgw.party.%d.fieldops", i))
+		}
+		e.lastRound = time.Now()
+	}
 	weights := shamir.LagrangeAtZero(shamir.PartyPoints(cfg.Parties))
 	root := randx.New(cfg.Seed)
 	for i := 0; i < cfg.Parties; i++ {
@@ -117,8 +134,22 @@ func (e *ActorEngine) Threshold() int { return e.t }
 // Latency returns the per-round latency.
 func (e *ActorEngine) Latency() time.Duration { return e.latency }
 
-// AdvanceRound accounts one communication round.
-func (e *ActorEngine) AdvanceRound() { e.rounds++ }
+// Recorder returns the engine's telemetry sink (never nil).
+func (e *ActorEngine) Recorder() obs.Recorder { return obs.Or(e.rec) }
+
+// AdvanceRound accounts one communication round; with telemetry enabled
+// the wall-clock since the previous boundary becomes one bgw.round span.
+func (e *ActorEngine) AdvanceRound() {
+	e.rounds++
+	if e.rec != nil {
+		now := time.Now()
+		secs := now.Sub(e.lastRound).Seconds()
+		e.lastRound = now
+		e.roundHist.Observe(secs)
+		e.rec.Event(obs.LevelDebug, "bgw.round",
+			obs.Int64("round", e.rounds), obs.Float64("seconds", secs))
+	}
+}
 
 // Err returns the first failure any party actor hit (transport abort,
 // EOF mid-round, malformed frame); nil while healthy.
@@ -180,6 +211,10 @@ func (e *ActorEngine) await(c *actorCmd) []actorReply {
 		r := <-c.reply
 		if r.err != nil && e.err == nil {
 			e.err = r.err
+			if e.rec != nil {
+				e.rec.Event(obs.LevelWarn, "bgw.party.failed",
+					obs.Int("party", r.party), obs.String("err", r.err.Error()))
+			}
 		}
 		replies[r.party] = r
 	}
@@ -221,15 +256,22 @@ func (e *ActorEngine) checkParty(i int) {
 }
 
 // collectOps runs a barrier and sums the parties' cumulative local
-// field-operation counters.
+// field-operation counters; with telemetry enabled the per-party totals
+// are published as bgw.party.<i>.fieldops gauges.
 func (e *ActorEngine) collectOps() int64 {
 	c := &actorCmd{op: opBarrier, reply: make(chan actorReply, e.p)}
 	if !e.dispatch(c) {
 		return e.baseOps
 	}
 	var sum int64
-	for _, r := range e.await(c) {
+	for i, r := range e.await(c) {
 		sum += r.ops
+		if e.rec != nil {
+			e.partyGauges[i].Set(float64(r.ops))
+		}
+	}
+	if e.rec != nil {
+		e.opsGauge.Set(float64(sum))
 	}
 	return sum
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sqm/internal/field"
+	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/shamir"
 )
@@ -35,6 +36,7 @@ type Config struct {
 	Threshold int           // t; 0 means floor((P-1)/2)
 	Latency   time.Duration // per communication round; 0 means DefaultLatency
 	Seed      uint64        // seeds the per-party private randomness
+	Recorder  obs.Recorder  // telemetry sink; nil disables at zero cost
 }
 
 // Stats meters the protocol execution.
@@ -58,6 +60,11 @@ type Engine struct {
 	rngs    []*randx.RNG // party i's private randomness
 	weights []field.Elem // Lagrange weights at 0 for points 1..P
 	stats   Stats
+
+	rec       obs.Recorder // nil when telemetry is disabled
+	roundHist *obs.Histogram
+	opsGauge  *obs.Gauge
+	lastRound time.Time
 }
 
 // NewEngine validates the configuration and prepares an engine.
@@ -77,6 +84,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		lat = DefaultLatency
 	}
 	e := &Engine{p: cfg.Parties, t: t, latency: lat}
+	if rec := cfg.Recorder; rec != nil && rec.Metrics() != nil {
+		e.rec = rec
+		e.roundHist = rec.Metrics().Histogram("bgw.round.seconds")
+		e.opsGauge = rec.Metrics().Gauge("bgw.fieldops")
+		e.lastRound = time.Now()
+	}
 	root := randx.New(cfg.Seed)
 	for i := 0; i < cfg.Parties; i++ {
 		e.rngs = append(e.rngs, root.Fork())
@@ -100,9 +113,31 @@ func (e *Engine) Stats() Stats { return e.stats }
 // ResetStats zeroes the counters (between experiment phases).
 func (e *Engine) ResetStats() { e.stats = Stats{} }
 
+// Recorder returns the engine's telemetry sink (never nil).
+func (e *Engine) Recorder() obs.Recorder { return obs.Or(e.rec) }
+
 // AdvanceRound accounts one communication round. Structured protocols
-// batch all independent messages of a phase into a single round.
-func (e *Engine) AdvanceRound() { e.stats.Rounds++ }
+// batch all independent messages of a phase into a single round. With
+// telemetry enabled, the wall-clock since the previous round boundary
+// becomes one bgw.round span.
+func (e *Engine) AdvanceRound() {
+	e.stats.Rounds++
+	if e.rec != nil {
+		e.observeRound(e.stats.Rounds, e.stats.FieldOps)
+	}
+}
+
+// observeRound emits one per-round span and refreshes the field-op
+// gauge.
+func (e *Engine) observeRound(round, ops int64) {
+	now := time.Now()
+	secs := now.Sub(e.lastRound).Seconds()
+	e.lastRound = now
+	e.roundHist.Observe(secs)
+	e.opsGauge.Set(float64(ops))
+	e.rec.Event(obs.LevelDebug, "bgw.round",
+		obs.Int64("round", round), obs.Float64("seconds", secs))
+}
 
 // Shared is a single secret-shared value; shares[i] is held by party i.
 type Shared struct {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sqm/internal/field"
+	"sqm/internal/obs"
 )
 
 // Val is an opaque handle to one secret-shared scalar. Each Evaluator
@@ -47,6 +48,9 @@ type Evaluator interface {
 	ResetStats()
 	// AdvanceRound accounts one communication round.
 	AdvanceRound()
+	// Recorder returns the backend's telemetry sink; never nil (the
+	// no-op recorder when telemetry is disabled).
+	Recorder() obs.Recorder
 	// Err returns the first failure the backend hit (transport abort,
 	// EOF mid-round); nil while healthy. Openings performed after a
 	// failure return zero values.
@@ -109,6 +113,7 @@ func (m monoEval) Latency() time.Duration { return m.e.Latency() }
 func (m monoEval) Stats() Stats           { return m.e.Stats() }
 func (m monoEval) ResetStats()            { m.e.ResetStats() }
 func (m monoEval) AdvanceRound()          { m.e.AdvanceRound() }
+func (m monoEval) Recorder() obs.Recorder { return m.e.Recorder() }
 func (m monoEval) Err() error             { return nil }
 func (m monoEval) Close() error           { return nil }
 

@@ -7,12 +7,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"net"
+	"net/http"
 	"os"
 
 	"sqm/internal/core"
 	"sqm/internal/csvio"
+	"sqm/internal/dp"
 	"sqm/internal/linreg"
 	"sqm/internal/logreg"
+	"sqm/internal/obs"
 	"sqm/internal/pca"
 )
 
@@ -38,9 +43,43 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		seed   = fs.Uint64("seed", 1, "reproducibility seed")
 		engine = fs.String("engine", "plain", "evaluation backend: plain, bgw, actor, actor-net")
 		nparty = fs.Int("parties", 0, "MPC party count (engines other than plain)")
+
+		verbose   = fs.Bool("v", false, "debug-level telemetry on stderr (implies -log-format text)")
+		logFormat = fs.String("log-format", "", "structured telemetry on stderr: text or json")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *logFormat != "" && *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("-log-format must be text or json, got %q", *logFormat)
+	}
+	// Telemetry is on when any observability flag is set. -v lowers the
+	// level to debug; -debug-addr alone keeps logging quiet (warn+) but
+	// still collects metrics for the HTTP endpoint.
+	var rec obs.Recorder
+	if *verbose || *logFormat != "" || *debugAddr != "" {
+		format := *logFormat
+		if format == "" {
+			format = "text"
+		}
+		min := obs.LevelInfo
+		if *verbose {
+			min = obs.LevelDebug
+		} else if *logFormat == "" {
+			min = obs.LevelWarn
+		}
+		rec = obs.NewLog(stderr, format, min)
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		srv := &http.Server{Handler: obs.NewDebugMux(rec.Metrics())}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(stderr, "sqmrun: debug endpoint at http://%s/metrics\n", ln.Addr())
 	}
 	kind, err := core.ParseEngineKind(*engine)
 	if err != nil {
@@ -74,15 +113,34 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 
+	// With telemetry on, an accountant ledger re-derives the run's
+	// privacy cost from the calibrated noise and prints the final ε(δ).
+	acct := dp.NewAccountant(0)
+	if rec != nil {
+		acct.Observe(rec, *delta)
+		acct.SetBudget(*eps)
+	}
+	ledgerLine := func() {
+		if rec == nil {
+			return
+		}
+		e, alpha := acct.Epsilon(*delta)
+		fmt.Fprintf(stderr, "sqmrun: privacy ledger: eps(delta=%g) = %.4f @ alpha=%d over %d release(s)\n",
+			*delta, e, alpha, acct.Releases())
+	}
+
 	switch cmd {
 	case "pca":
 		r, err := pca.SQM(loaded.X, pca.Config{
 			K: *k, Eps: *eps, Delta: *delta, C: 1, Gamma: *gamma, Seed: *seed,
-			Engine: kind, Parties: *nparty,
+			Engine: kind, Parties: *nparty, Recorder: rec,
 		})
 		if err != nil {
 			return err
 		}
+		d2, d1 := pca.Sensitivities(*gamma, 1, loaded.X.Cols)
+		acct.AddSkellam(d1, d2, r.Mu)
+		ledgerLine()
 		fmt.Fprintf(stderr, "sqmrun: captured variance ||XV||_F^2 = %.4f at (eps=%g, delta=%g)\n",
 			r.Utility, *eps, *delta)
 		return csvio.Write(w, r.Subspace, nil)
@@ -92,11 +150,14 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cov, _, err := core.Covariance(loaded.X, core.Params{
-			Gamma: *gamma, Mu: mu, Seed: *seed, Engine: kind, Parties: *nparty,
+			Gamma: *gamma, Mu: mu, Seed: *seed, Engine: kind, Parties: *nparty, Recorder: rec,
 		})
 		if err != nil {
 			return err
 		}
+		d2, d1 := pca.Sensitivities(*gamma, 1, loaded.X.Cols)
+		acct.AddSkellam(d1, d2, mu)
+		ledgerLine()
 		return csvio.Write(w, cov, loaded.Header)
 	case "lr":
 		for i, y := range loaded.Labels {
@@ -104,13 +165,19 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 				return fmt.Errorf("lr needs 0/1 labels; row %d has %v", i+1, y)
 			}
 		}
-		m, err := logreg.TrainSQM(loaded.X, loaded.Labels, logreg.Config{
+		cfg := logreg.Config{
 			Eps: *eps, Delta: *delta, Gamma: *gamma,
 			Epochs: *epochs, SampleRate: *q, Seed: *seed,
-			Engine: kind, Parties: *nparty,
-		})
+			Engine: kind, Parties: *nparty, Recorder: rec,
+		}
+		m, err := logreg.TrainSQM(loaded.X, loaded.Labels, cfg)
 		if err != nil {
 			return err
+		}
+		if mu, err := logreg.CalibrateMu(cfg, loaded.X.Cols); err == nil {
+			d2, d1 := logreg.Sensitivities(*gamma, loaded.X.Cols)
+			acct.AddSubsampledSkellam(d1, d2, mu, cfg.SampleRate, cfg.Rounds())
+			ledgerLine()
 		}
 		fmt.Fprintf(stderr, "sqmrun: training accuracy %.4f at (eps=%g, delta=%g)\n",
 			logreg.Accuracy(m, loaded.X, loaded.Labels), *eps, *delta)
@@ -129,10 +196,18 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		}
 		m, err := linreg.SQM(loaded.X, loaded.Labels, linreg.Config{
 			Eps: *eps, Delta: *delta, C: 1, B: 1, Gamma: *gamma, Seed: *seed,
-			Engine: kind, Parties: *nparty,
+			Engine: kind, Parties: *nparty, Recorder: rec,
 		})
 		if err != nil {
 			return err
+		}
+		// Re-derive the calibrated mu of the augmented-matrix release
+		// (C = B = 1 means the augmented norm bound is √2).
+		cAug := math.Sqrt2
+		if mu, err := pca.CalibrateMu(*eps, *delta, *gamma, cAug, loaded.X.Cols+1); err == nil {
+			d2, d1 := pca.Sensitivities(*gamma, cAug, loaded.X.Cols+1)
+			acct.AddSkellam(d1, d2, mu)
+			ledgerLine()
 		}
 		fmt.Fprintf(stderr, "sqmrun: training R^2 = %.4f at (eps=%g, delta=%g)\n",
 			linreg.R2(m, loaded.X, loaded.Labels), *eps, *delta)

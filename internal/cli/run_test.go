@@ -173,3 +173,29 @@ func TestRunRidgeWithOutFile(t *testing.T) {
 		t.Fatalf("label clipping diagnostic missing: %q", errw.String())
 	}
 }
+
+func TestRunTelemetryFlags(t *testing.T) {
+	data := writeTask(t, false)
+	var out, errBuf bytes.Buffer
+	err := Run("covariance", []string{
+		"-data", data, "-header", "-v", "-log-format", "json", "-debug-addr", "127.0.0.1:0",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := errBuf.String()
+	for _, want := range []string{"dp.release", "privacy ledger", "debug endpoint"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("stderr missing %q:\n%s", want, diag)
+		}
+	}
+}
+
+func TestRunRejectsBadLogFormat(t *testing.T) {
+	data := writeTask(t, false)
+	var out, errBuf bytes.Buffer
+	err := Run("covariance", []string{"-data", data, "-header", "-log-format", "yaml"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "log-format") {
+		t.Fatalf("err = %v", err)
+	}
+}

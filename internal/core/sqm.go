@@ -32,6 +32,7 @@ import (
 
 	"sqm/internal/bgw"
 	"sqm/internal/field"
+	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/transport"
 )
@@ -103,6 +104,7 @@ type Params struct {
 	Threshold  int           // BGW threshold t; 0 means floor((P-1)/2)
 	Latency    time.Duration // per-round message latency; 0 means 100 ms
 	Seed       uint64        // reproducibility seed
+	Recorder   obs.Recorder  // telemetry sink for engine and mesh; nil disables
 }
 
 func (p *Params) normalize(cols int) error {
@@ -155,7 +157,7 @@ func (p *Params) partyOf(client int) int {
 // stream, as before the backends became pluggable. The caller owns the
 // evaluator and must Close it.
 func (p *Params) newEvaluator(seedXor uint64) (bgw.Evaluator, error) {
-	cfg := bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ seedXor}
+	cfg := bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ seedXor, Recorder: p.Recorder}
 	switch p.Engine {
 	case EngineBGW:
 		eng, err := bgw.NewEngine(cfg)
@@ -164,9 +166,9 @@ func (p *Params) newEvaluator(seedXor uint64) (bgw.Evaluator, error) {
 		}
 		return bgw.Eval(eng), nil
 	case EngineActorBGW:
-		return bgw.NewActorEngine(cfg, transport.NewChanMesh(cfg.Parties))
+		return bgw.NewActorEngine(cfg, transport.NewChanMesh(cfg.Parties, transport.WithRecorder(p.Recorder)))
 	case EngineActorBGWNet:
-		mesh, err := transport.NewTCPMesh(cfg.Parties)
+		mesh, err := transport.NewTCPMesh(cfg.Parties, transport.WithRecorder(p.Recorder))
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"sqm/internal/obs"
 )
 
 // Accountant tracks the cumulative Rényi-DP cost of heterogeneous
@@ -20,6 +22,39 @@ type Accountant struct {
 	maxAlpha int
 	taus     []float64 // taus[i] is the cumulative tau at order i+2
 	releases int
+
+	// Ledger state (Observe/SetBudget): every release re-converts the
+	// cumulative curve and reports the running ε(δ).
+	rec         obs.Recorder
+	epsGauge    *obs.Gauge
+	ledgerDelta float64
+	budgetEps   float64 // 0 means no budget threshold
+}
+
+// Observe attaches a telemetry recorder: after every recorded release
+// the accountant emits a "dp.release" event carrying the running ε at
+// the given δ and refreshes the "dp.epsilon" gauge. Pair with SetBudget
+// to get a "dp.budget_exceeded" warning the moment the cumulative cost
+// crosses the budget. A nil recorder (or one without metrics) disables
+// the ledger.
+func (a *Accountant) Observe(rec obs.Recorder, delta float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if rec == nil || rec.Metrics() == nil {
+		a.rec, a.epsGauge = nil, nil
+		return
+	}
+	a.rec = rec
+	a.epsGauge = rec.Metrics().Gauge("dp.epsilon")
+	a.ledgerDelta = delta
+}
+
+// SetBudget sets the ε threshold for the ledger's budget warning (0
+// clears it).
+func (a *Accountant) SetBudget(eps float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.budgetEps = eps
 }
 
 // NewAccountant tracks orders 2..maxAlpha (0 means DefaultMaxAlpha).
@@ -37,14 +72,32 @@ func (a *Accountant) Releases() int {
 	return a.releases
 }
 
-// record adds one release's RDP curve.
+// record adds one release's RDP curve. The ledger emission happens
+// after the mutex is released because the ε conversion re-locks.
 func (a *Accountant) record(curve Curve) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	for i := range a.taus {
 		a.taus[i] += curve(i + 2)
 	}
 	a.releases++
+	release := a.releases
+	rec, gauge := a.rec, a.epsGauge
+	delta, budget := a.ledgerDelta, a.budgetEps
+	a.mu.Unlock()
+
+	if rec == nil {
+		return
+	}
+	eps, alpha := a.Epsilon(delta)
+	gauge.Set(eps)
+	rec.Event(obs.LevelInfo, "dp.release",
+		obs.Int("release", release), obs.Float64("eps", eps),
+		obs.Int("alpha", alpha), obs.Float64("delta", delta))
+	if budget > 0 && eps > budget {
+		rec.Event(obs.LevelWarn, "dp.budget_exceeded",
+			obs.Float64("eps", eps), obs.Float64("budget", budget),
+			obs.Float64("delta", delta))
+	}
 }
 
 // AddSkellam records one Skellam-mechanism release (Lemma 1).

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"sqm/internal/obs"
 )
 
 func TestAccountantEmpty(t *testing.T) {
@@ -128,5 +130,118 @@ func TestAccountantConcurrentUse(t *testing.T) {
 	want, _ := GaussianEpsilon(1, 20, 1, 16, 1e-5, 32)
 	if math.Abs(got-want) > 1e-12 {
 		t.Fatalf("concurrent total %v vs direct %v", got, want)
+	}
+}
+
+// ledgerRecorder captures events in order for the ledger tests while
+// carrying a real metrics registry.
+type ledgerRecorder struct {
+	metrics *obs.Metrics
+	mu      sync.Mutex
+	names   []string
+	attrs   []map[string]any
+}
+
+func newLedgerRecorder() *ledgerRecorder {
+	return &ledgerRecorder{metrics: obs.NewMetrics()}
+}
+
+func (r *ledgerRecorder) Enabled(obs.Level) bool { return true }
+func (r *ledgerRecorder) Metrics() *obs.Metrics  { return r.metrics }
+func (r *ledgerRecorder) Event(_ obs.Level, name string, attrs ...obs.Attr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	r.names = append(r.names, name)
+	r.attrs = append(r.attrs, m)
+}
+
+func TestAccountantLedgerEmissionOrder(t *testing.T) {
+	rec := newLedgerRecorder()
+	a := NewAccountant(32)
+	a.Observe(rec, 1e-5)
+	a.AddGaussian(1, 20)
+	a.AddGaussian(1, 20)
+	a.AddSkellam(100, 100, 1e6)
+	if len(rec.names) != 3 {
+		t.Fatalf("events = %v, want 3 dp.release", rec.names)
+	}
+	for i, name := range rec.names {
+		if name != "dp.release" {
+			t.Fatalf("event %d = %q", i, name)
+		}
+		if got := rec.attrs[i]["release"]; got != int64(i+1) {
+			t.Fatalf("event %d release attr = %v", i, got)
+		}
+	}
+	// The gauge mirrors the last emitted eps.
+	eps, _ := a.Epsilon(1e-5)
+	if g := rec.metrics.Gauge("dp.epsilon").Value(); math.Abs(g-eps) > 1e-12 {
+		t.Fatalf("gauge %v vs eps %v", g, eps)
+	}
+}
+
+func TestAccountantLedgerBudgetWarning(t *testing.T) {
+	rec := newLedgerRecorder()
+	a := NewAccountant(32)
+	a.Observe(rec, 1e-5)
+	a.AddGaussian(1, 20)
+	first, _ := a.Epsilon(1e-5)
+	a.SetBudget(first * 3) // above the single-release cost
+	for _, name := range rec.names {
+		if name == "dp.budget_exceeded" {
+			t.Fatal("warning fired below budget")
+		}
+	}
+	// Compose releases until the cumulative eps crosses the budget.
+	for i := 0; i < 32; i++ {
+		a.AddGaussian(1, 20)
+		if eps, _ := a.Epsilon(1e-5); eps > first*3 {
+			break
+		}
+	}
+	var warned bool
+	for i, name := range rec.names {
+		if name == "dp.budget_exceeded" {
+			warned = true
+			if rec.attrs[i]["budget"] != first*3 {
+				t.Fatalf("warn budget attr = %v", rec.attrs[i]["budget"])
+			}
+		}
+	}
+	if !warned {
+		t.Fatal("budget warning never fired")
+	}
+}
+
+func TestAccountantLedgerEpsilonMonotone(t *testing.T) {
+	rec := newLedgerRecorder()
+	a := NewAccountant(32)
+	a.Observe(rec, 1e-5)
+	for i := 0; i < 8; i++ {
+		a.AddSubsampledSkellam(100, 100, 1e6, 0.01, 10)
+	}
+	var prev float64
+	for i, attrs := range rec.attrs {
+		eps, ok := attrs["eps"].(float64)
+		if !ok {
+			t.Fatalf("event %d missing eps attr: %v", i, attrs)
+		}
+		if eps < prev {
+			t.Fatalf("eps not monotone under composition: release %d has %v < %v", i+1, eps, prev)
+		}
+		prev = eps
+	}
+}
+
+func TestAccountantObserveNopRecorderDisables(t *testing.T) {
+	a := NewAccountant(32)
+	a.Observe(obs.Nop(), 1e-5) // no metrics registry -> ledger off
+	a.AddGaussian(1, 20)       // must not panic or emit
+	if a.Releases() != 1 {
+		t.Fatalf("releases = %d", a.Releases())
 	}
 }

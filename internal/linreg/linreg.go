@@ -20,6 +20,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/obs"
 	"sqm/internal/pca"
 	"sqm/internal/randx"
 	"sqm/internal/vfl"
@@ -39,6 +40,10 @@ type Config struct {
 
 	Engine  core.EngineKind
 	Parties int
+
+	// Recorder is an optional telemetry sink threaded through to the
+	// MPC engine and transport (nil disables).
+	Recorder obs.Recorder
 }
 
 func (c *Config) validate() error {
@@ -165,11 +170,12 @@ func SQM(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	gram, _, err := core.Covariance(full, core.Params{
-		Gamma:   cfg.Gamma,
-		Mu:      mu,
-		Engine:  cfg.Engine,
-		Parties: cfg.Parties,
-		Seed:    cfg.Seed,
+		Gamma:    cfg.Gamma,
+		Mu:       mu,
+		Engine:   cfg.Engine,
+		Parties:  cfg.Parties,
+		Seed:     cfg.Seed,
+		Recorder: cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err

@@ -94,6 +94,7 @@ func TrainGLM(link *approx.Poly1, x *linalg.Matrix, y []float64, cfg Config) (*M
 			Engine:     cfg.Engine,
 			Parties:    cfg.Parties,
 			Seed:       cfg.Seed + uint64(r)*100003,
+			Recorder:   cfg.Recorder,
 		})
 		if err != nil {
 			return nil, err

@@ -21,6 +21,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/vfl"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	// Engine/Parties select the SQM backend (plain by default).
 	Engine  core.EngineKind
 	Parties int
+
+	// Recorder is an optional telemetry sink threaded through to the
+	// MPC engine and transport (nil disables).
+	Recorder obs.Recorder
 }
 
 func (c *Config) normalize() error {
@@ -221,11 +226,12 @@ func TrainSQM(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	proto, err := core.NewLRProtocol(x, y, core.Params{
-		Gamma:   cfg.Gamma,
-		Mu:      mu,
-		Engine:  cfg.Engine,
-		Parties: cfg.Parties,
-		Seed:    cfg.Seed,
+		Gamma:    cfg.Gamma,
+		Mu:       mu,
+		Engine:   cfg.Engine,
+		Parties:  cfg.Parties,
+		Seed:     cfg.Seed,
+		Recorder: cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -262,6 +268,8 @@ func TrainSQMOrder3(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		Parties: cfg.Parties,
 		Seed:    cfg.Seed,
 	}, 0)
+	// (The sensitivity probe above runs without telemetry; only the
+	// calibrated run below reports.)
 	if err != nil {
 		return nil, err
 	}
@@ -274,11 +282,12 @@ func TrainSQMOrder3(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 	// Rebuild with the calibrated noise (the protocol state is cheap to
 	// reconstruct and the seeds keep the quantization identical).
 	proto, err = core.NewLR3Protocol(x, y, core.Params{
-		Gamma:   cfg.Gamma,
-		Mu:      mu,
-		Engine:  cfg.Engine,
-		Parties: cfg.Parties,
-		Seed:    cfg.Seed,
+		Gamma:    cfg.Gamma,
+		Mu:       mu,
+		Engine:   cfg.Engine,
+		Parties:  cfg.Parties,
+		Seed:     cfg.Seed,
+		Recorder: cfg.Recorder,
 	}, 0)
 	if err != nil {
 		return nil, err

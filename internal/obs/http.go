@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the registry as a JSON document (expvar-style:
+// one object per metric, histograms summarized). A nil registry serves
+// an empty list.
+func MetricsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		points := m.Snapshot()
+		if points == nil {
+			points = []MetricPoint{}
+		}
+		_ = enc.Encode(points)
+	})
+}
+
+// NewDebugMux builds the operator debug endpoint: /metrics dumps the
+// registry as JSON and /debug/pprof/* exposes the runtime profiles.
+// Serve it on a loopback or firewalled port — it is diagnostics, not a
+// public API.
+func NewDebugMux(m *Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(m))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// Metrics is a registry of named counters, gauges and histograms.
+// Lookups are get-or-create and safe for concurrent use; handles are
+// meant to be resolved once at construction and retained. All methods
+// are nil-receiver safe: a nil registry hands out nil handles whose
+// operations are no-ops, which is how disabled telemetry stays free.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		h = &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; no-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float64 value.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores the value; no-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(floatBits(v))
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current value (0 for a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFrom(g.v.Load())
+}
+
+// histBuckets is the number of exponential histogram buckets. Bucket i
+// holds observations in (base·2^(i−1), base·2^i]; with base = 1 µs the
+// top bucket starts around 18 minutes, plenty for round latencies.
+const histBuckets = 31
+
+// histBase is the upper bound of bucket 0 when observations are
+// durations in seconds.
+const histBase = 1e-6
+
+// Histogram accumulates float64 observations (by convention, seconds)
+// into exponential buckets plus exact count/sum/min/max.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// Observe records one value; no-op on a nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+	h.mu.Unlock()
+}
+
+// ObserveSince records the seconds elapsed since start; no-op on a nil
+// handle (without even reading the clock).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// bucketOf maps a value to its exponential bucket index.
+func bucketOf(v float64) int {
+	if v <= histBase {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(v / histBase)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// HistogramSnapshot is a histogram's summarized state.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram; zero value for a nil handle.
+// Quantiles are approximated by the upper bound of the covering bucket.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Mean: h.sum / float64(h.count),
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	rank := int64(math.Ceil(q * float64(h.count)))
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			ub := histBase * math.Pow(2, float64(i))
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// MetricPoint is one metric's exported state.
+type MetricPoint struct {
+	Name      string             `json:"name"`
+	Type      string             `json:"type"` // "counter", "gauge", "histogram"
+	Value     float64            `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot exports every registered metric, sorted by name (counters,
+// then gauges, then histograms). Nil registries export nothing.
+func (m *Metrics) Snapshot() []MetricPoint {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	names := func(n int) []string { return make([]string, 0, n) }
+	cns, gns, hns := names(len(m.counters)), names(len(m.gauges)), names(len(m.histograms))
+	for n := range m.counters {
+		cns = append(cns, n)
+	}
+	for n := range m.gauges {
+		gns = append(gns, n)
+	}
+	for n := range m.histograms {
+		hns = append(hns, n)
+	}
+	m.mu.Unlock()
+	sort.Strings(cns)
+	sort.Strings(gns)
+	sort.Strings(hns)
+	var out []MetricPoint
+	for _, n := range cns {
+		out = append(out, MetricPoint{Name: n, Type: "counter", Value: float64(m.Counter(n).Value())})
+	}
+	for _, n := range gns {
+		out = append(out, MetricPoint{Name: n, Type: "gauge", Value: m.Gauge(n).Value()})
+	}
+	for _, n := range hns {
+		s := m.Histogram(n).Snapshot()
+		out = append(out, MetricPoint{Name: n, Type: "histogram", Histogram: &s})
+	}
+	return out
+}
+
+// WriteTo dumps the registry as aligned "name type value" lines — the
+// human-readable final metrics report of a run.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, p := range m.Snapshot() {
+		var n int
+		var err error
+		switch p.Type {
+		case "histogram":
+			h := p.Histogram
+			n, err = fmt.Fprintf(w, "%-44s %-9s count=%d mean=%.3gs p50=%.3gs p95=%.3gs max=%.3gs\n",
+				p.Name, p.Type, h.Count, h.Mean, h.P50, h.P95, h.Max)
+		case "counter":
+			n, err = fmt.Fprintf(w, "%-44s %-9s %d\n", p.Name, p.Type, int64(p.Value))
+		default:
+			n, err = fmt.Fprintf(w, "%-44s %-9s %g\n", p.Name, p.Type, p.Value)
+		}
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,212 @@
+// Package obs is the repository's zero-dependency observability layer:
+// structured events, monotonic span timers, and a metrics registry of
+// counters, gauges and histograms. Every subsystem that does real work
+// — the transport meshes, the BGW engines, the session layer, the DP
+// accountant — reports through a Recorder so a run can be understood
+// from the outside: where the time went, how many bytes crossed each
+// link, and how much (ε, δ) budget the composition has consumed.
+//
+// Two implementations ship: a slog-backed recorder (text or JSON lines)
+// and a no-op recorder. The disabled path is allocation-free by
+// construction: hot paths never build attribute slices without first
+// checking Enabled, and the metric handle types (*Counter, *Gauge,
+// *Histogram) are nil-receiver safe, so instrumented code resolves its
+// handles once at construction and unconditionally calls Add/Set/
+// Observe — a nil handle is a single branch, no allocation, no atomic.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Level classifies an event's severity. The numeric values match
+// log/slog so the slog-backed recorder forwards them unchanged.
+type Level int8
+
+const (
+	// LevelDebug marks high-volume diagnostics (per-round spans).
+	LevelDebug Level = -4
+	// LevelInfo marks lifecycle events (session start, ledger entries).
+	LevelInfo Level = 0
+	// LevelWarn marks conditions an operator should act on (privacy
+	// budget exceeded, transport teardown mid-round).
+	LevelWarn Level = 4
+)
+
+// attrKind discriminates the Attr payload.
+type attrKind uint8
+
+const (
+	kindInt64 attrKind = iota
+	kindFloat64
+	kindString
+	kindDuration
+	kindBool
+)
+
+// Attr is one structured key/value pair of an event. It is a small
+// value type (no interface boxing) so building attributes on an enabled
+// path stays cheap and the disabled path can skip them entirely.
+type Attr struct {
+	Key  string
+	kind attrKind
+	num  uint64
+	str  string
+}
+
+// Int attaches an int value.
+func Int(key string, v int) Attr { return Int64(key, int64(v)) }
+
+// Int64 attaches an int64 value.
+func Int64(key string, v int64) Attr {
+	return Attr{Key: key, kind: kindInt64, num: uint64(v)}
+}
+
+// Float64 attaches a float64 value.
+func Float64(key string, v float64) Attr {
+	return Attr{Key: key, kind: kindFloat64, num: floatBits(v)}
+}
+
+// String attaches a string value.
+func String(key, v string) Attr {
+	return Attr{Key: key, kind: kindString, str: v}
+}
+
+// Duration attaches a duration value.
+func Duration(key string, d time.Duration) Attr {
+	return Attr{Key: key, kind: kindDuration, num: uint64(d)}
+}
+
+// Bool attaches a bool value.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, kind: kindBool}
+	if v {
+		a.num = 1
+	}
+	return a
+}
+
+// Value returns the attribute's payload boxed as any.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt64:
+		return int64(a.num)
+	case kindFloat64:
+		return floatFrom(a.num)
+	case kindString:
+		return a.str
+	case kindDuration:
+		return time.Duration(a.num)
+	case kindBool:
+		return a.num != 0
+	}
+	return nil
+}
+
+// slogAttr converts to the slog representation.
+func (a Attr) slogAttr() slog.Attr {
+	switch a.kind {
+	case kindInt64:
+		return slog.Int64(a.Key, int64(a.num))
+	case kindFloat64:
+		return slog.Float64(a.Key, floatFrom(a.num))
+	case kindString:
+		return slog.String(a.Key, a.str)
+	case kindDuration:
+		return slog.Duration(a.Key, time.Duration(a.num))
+	case kindBool:
+		return slog.Bool(a.Key, a.num != 0)
+	}
+	return slog.Any(a.Key, nil)
+}
+
+// String renders the attribute as key=value.
+func (a Attr) String() string { return fmt.Sprintf("%s=%v", a.Key, a.Value()) }
+
+// Recorder receives the structured telemetry of one run. Implementations
+// must be safe for concurrent use: party actors, the writer pumps and
+// the coordinator all report from their own goroutines.
+//
+// Hot paths must call Enabled before building attributes, and should
+// prefer pre-resolved metric handles (Metrics().Counter(...) once at
+// construction) over events for per-message accounting.
+type Recorder interface {
+	// Enabled reports whether events at the level would be recorded.
+	// The no-op recorder answers false for every level, which lets
+	// instrumented code skip timestamping and attribute construction.
+	Enabled(level Level) bool
+	// Event records one structured event.
+	Event(level Level, name string, attrs ...Attr)
+	// Metrics returns the run's metric registry; nil for the no-op
+	// recorder (all registry lookups on a nil registry return nil
+	// handles, whose methods are no-ops).
+	Metrics() *Metrics
+}
+
+// nop is the disabled recorder.
+type nop struct{}
+
+func (nop) Enabled(Level) bool           { return false }
+func (nop) Event(Level, string, ...Attr) {}
+func (nop) Metrics() *Metrics            { return nil }
+
+// Nop returns the no-op recorder. Every operation on it (and on the nil
+// metric handles it hands out) is allocation-free.
+func Nop() Recorder { return nop{} }
+
+// Or returns r, or the no-op recorder when r is nil — the idiom for
+// optional Recorder fields on config structs.
+func Or(r Recorder) Recorder {
+	if r == nil {
+		return Nop()
+	}
+	return r
+}
+
+// LogRecorder is the slog-backed Recorder: events become structured log
+// lines (text or JSON), metrics accumulate in an owned registry.
+type LogRecorder struct {
+	logger  *slog.Logger
+	min     Level
+	metrics *Metrics
+}
+
+// NewLog builds a LogRecorder writing to w. format is "text" or "json"
+// (anything else falls back to text); events below min are dropped.
+func NewLog(w io.Writer, format string, min Level) *LogRecorder {
+	opts := &slog.HandlerOptions{Level: slog.Level(min)}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return NewLogger(slog.New(h), min)
+}
+
+// NewLogger wraps an existing slog.Logger.
+func NewLogger(l *slog.Logger, min Level) *LogRecorder {
+	return &LogRecorder{logger: l, min: min, metrics: NewMetrics()}
+}
+
+// Enabled reports whether the level clears the recorder's minimum.
+func (r *LogRecorder) Enabled(level Level) bool { return level >= r.min }
+
+// Event emits one structured log line.
+func (r *LogRecorder) Event(level Level, name string, attrs ...Attr) {
+	if level < r.min {
+		return
+	}
+	sa := make([]slog.Attr, len(attrs))
+	for i, a := range attrs {
+		sa[i] = a.slogAttr()
+	}
+	r.logger.LogAttrs(context.Background(), slog.Level(level), name, sa...)
+}
+
+// Metrics returns the recorder's registry.
+func (r *LogRecorder) Metrics() *Metrics { return r.metrics }

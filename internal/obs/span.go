@@ -1,0 +1,53 @@
+package obs
+
+import "time"
+
+// Span measures one timed region — a protocol round, a session phase —
+// against a monotonic clock (time.Since uses the runtime's monotonic
+// reading). Spans are plain values: a disabled recorder yields the zero
+// Span whose End is a no-op, so the pattern
+//
+//	sp := obs.StartSpan(rec, "bgw.round", obs.Int("round", r))
+//	... work ...
+//	sp.End()
+//
+// costs one branch when telemetry is off.
+type Span struct {
+	rec   Recorder
+	name  string
+	start time.Time
+	attrs []Attr
+	hist  *Histogram
+}
+
+// StartSpan opens a span. The event emitted at End carries the given
+// attributes plus "seconds"; the duration is additionally observed into
+// the histogram "<name>.seconds" of the recorder's registry.
+func StartSpan(rec Recorder, name string, attrs ...Attr) Span {
+	if rec == nil || !rec.Enabled(LevelDebug) {
+		return Span{}
+	}
+	return Span{
+		rec:   rec,
+		name:  name,
+		start: time.Now(),
+		attrs: attrs,
+		hist:  rec.Metrics().Histogram(name + ".seconds"),
+	}
+}
+
+// End closes the span, emitting the event and the histogram
+// observation. Extra attributes are appended to the start set. End on a
+// zero Span is a no-op.
+func (s Span) End(attrs ...Attr) {
+	if s.rec == nil {
+		return
+	}
+	secs := time.Since(s.start).Seconds()
+	s.hist.Observe(secs)
+	all := make([]Attr, 0, len(s.attrs)+len(attrs)+1)
+	all = append(all, s.attrs...)
+	all = append(all, attrs...)
+	all = append(all, Float64("seconds", secs))
+	s.rec.Event(LevelDebug, s.name, all...)
+}

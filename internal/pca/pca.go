@@ -19,6 +19,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/vfl"
 )
@@ -37,6 +38,9 @@ type Config struct {
 	NumClients int
 	// TopKIters bounds the subspace iteration for large n (0: 60).
 	TopKIters int
+	// Recorder is an optional telemetry sink threaded through to the
+	// MPC engine and transport (nil disables).
+	Recorder obs.Recorder
 	// Engine selects the SQM evaluation backend (plain by default).
 	Engine core.EngineKind
 	// Parties is the BGW party count when Engine is EngineBGW.
@@ -165,6 +169,7 @@ func SQM(x *linalg.Matrix, cfg Config) (*Result, error) {
 		Engine:     cfg.Engine,
 		Parties:    cfg.Parties,
 		Seed:       cfg.Seed,
+		Recorder:   cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err

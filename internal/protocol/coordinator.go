@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"sqm/internal/obs"
 )
 
 // ClientHooks is the work a participating client performs at each
@@ -33,7 +36,7 @@ type SessionOutcome struct {
 // (in a deployment this is where the MPC opening happens). Every
 // client's view is returned; the coordinator's error (if any) comes
 // back separately.
-func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
+func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error), opts ...SessionOption) ([]SessionOutcome, error) {
 	if err := validateSession(p, len(hooks)); err != nil {
 		return nil, err
 	}
@@ -43,7 +46,7 @@ func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 	for i := 0; i < n; i++ {
 		cliConns[i], srvConns[i] = net.Pipe()
 	}
-	return runSession(p, hooks, evaluate, cliConns, srvConns)
+	return runSession(p, hooks, evaluate, cliConns, srvConns, applySessionOptions(opts))
 }
 
 // RunSessionTCP is RunSession with every client connected to the
@@ -51,7 +54,7 @@ func RunSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 // so the session frames cross the loopback stack. Combined with an
 // evaluate callback backed by core's socket-transport engine, a whole
 // SQM session runs with genuine network traffic end to end.
-func RunSessionTCP(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
+func RunSessionTCP(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error), opts ...SessionOption) ([]SessionOutcome, error) {
 	if err := validateSession(p, len(hooks)); err != nil {
 		return nil, err
 	}
@@ -89,7 +92,7 @@ func RunSessionTCP(p Params, hooks []ClientHooks, evaluate func(round uint32) ([
 		}
 		srvConns[i] = srv
 	}
-	return runSession(p, hooks, evaluate, cliConns, srvConns)
+	return runSession(p, hooks, evaluate, cliConns, srvConns, applySessionOptions(opts))
 }
 
 func validateSession(p Params, n int) error {
@@ -107,7 +110,8 @@ func validateSession(p Params, n int) error {
 
 // runSession drives the lifecycle over pre-established connection pairs
 // (cliConns[i] is client i's end, srvConns[i] the coordinator's).
-func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error), cliConns, srvConns []net.Conn) ([]SessionOutcome, error) {
+func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error), cliConns, srvConns []net.Conn, o sessionOptions) ([]SessionOutcome, error) {
+	so := newSessionObs(o.rec)
 	n := len(hooks)
 	outcomes := make([]SessionOutcome, n)
 	servers := make([]*ServerSession, n)
@@ -135,26 +139,49 @@ func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 		}(i, cs, cliConns[i])
 	}
 
+	so.event(obs.LevelInfo, "session.start",
+		obs.Int("clients", n), obs.Int("rounds", int(p.Rounds)),
+		obs.Float64("gamma", p.Gamma), obs.Float64("mu", p.Mu))
 	coordErr := func() error {
+		phase := time.Now()
 		if err := forAll(servers, (*ServerSession).AwaitHello); err != nil {
 			return err
+		}
+		if so != nil {
+			so.phaseHist["hello"].ObserveSince(phase)
+			so.event(obs.LevelDebug, "session.hello", obs.Int("clients", n))
+			phase = time.Now()
 		}
 		if err := forAll(servers, func(s *ServerSession) error { return s.SendParams(p) }); err != nil {
 			return err
 		}
+		if so != nil {
+			so.phaseHist["params"].ObserveSince(phase)
+			so.event(obs.LevelDebug, "session.params", obs.Int("clients", n))
+		}
 		for round := uint32(0); round < p.Rounds; round++ {
+			start := time.Now()
 			if err := forAll(servers, (*ServerSession).RunRound); err != nil {
 				return err
 			}
 			scaled, err := evaluate(round)
 			if err != nil {
 				abortAll(servers, err.Error())
+				so.event(obs.LevelWarn, "session.abort",
+					obs.Int("round", int(round)), obs.String("err", err.Error()))
 				return err
 			}
 			res := Result{Round: round, Scaled: scaled}
 			final := round == p.Rounds-1
 			if err := forAll(servers, func(s *ServerSession) error { return s.SendResult(res, final) }); err != nil {
 				return err
+			}
+			if so != nil {
+				secs := time.Since(start).Seconds()
+				so.roundHist.Observe(secs)
+				so.event(obs.LevelInfo, "session.round",
+					obs.Int("round", int(round)), obs.Int("outputs", len(scaled)),
+					obs.Float64("seconds", secs))
 			}
 		}
 		return nil
@@ -168,6 +195,10 @@ func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 	clientWG.Wait()
 	for i, s := range servers {
 		outcomes[i].Commitment = s.Commitment
+	}
+	if coordErr == nil {
+		so.event(obs.LevelInfo, "session.done",
+			obs.Int("clients", n), obs.Int("rounds", int(p.Rounds)))
 	}
 	return outcomes, coordErr
 }

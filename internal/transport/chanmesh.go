@@ -18,6 +18,7 @@ type ChanMesh struct {
 	messages atomic.Int64
 	bytes    atomic.Int64
 	closed   atomic.Bool
+	obs      *meshObs // nil when telemetry is disabled
 }
 
 // queue is an unbounded FIFO with close semantics.
@@ -67,11 +68,14 @@ func (q *queue) close() {
 }
 
 // NewChanMesh builds a fully connected in-memory mesh of p parties.
-func NewChanMesh(p int) *ChanMesh {
+// Pass WithRecorder to meter per-link traffic and send→recv latency.
+func NewChanMesh(p int, opts ...Option) *ChanMesh {
 	if p < 2 {
 		panic(fmt.Sprintf("transport: mesh needs at least 2 parties, got %d", p))
 	}
+	o := applyOptions(opts)
 	m := &ChanMesh{p: p, queues: make([][]*queue, p), conns: make([]*chanConn, p)}
+	m.obs = newMeshObs(p, "transport.chan", o.rec)
 	for i := 0; i < p; i++ {
 		m.queues[i] = make([]*queue, p)
 		for j := 0; j < p; j++ {
@@ -130,6 +134,7 @@ func (c *chanConn) Send(to int, payload []byte) error {
 	}
 	c.mesh.messages.Add(1)
 	c.mesh.bytes.Add(int64(len(payload)))
+	c.mesh.obs.onSend(c.id, to, len(payload))
 	return nil
 }
 
@@ -137,7 +142,11 @@ func (c *chanConn) Recv(from int) ([]byte, error) {
 	if from == c.id || from < 0 || from >= c.mesh.p {
 		return nil, fmt.Errorf("transport: party %d cannot receive from %d", c.id, from)
 	}
-	return c.mesh.queues[from][c.id].pop()
+	b, err := c.mesh.queues[from][c.id].pop()
+	if err == nil {
+		c.mesh.obs.onRecv(from, c.id)
+	}
+	return b, err
 }
 
 // Close tears down every queue touching this party, so peers blocked on

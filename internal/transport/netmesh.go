@@ -27,6 +27,7 @@ type NetMesh struct {
 	messages atomic.Int64
 	bytes    atomic.Int64
 	closed   atomic.Bool
+	obs      *meshObs // nil when telemetry is disabled
 }
 
 // netConn is one party's endpoint: links[j] is the connection to party
@@ -76,11 +77,13 @@ func (l *link) close() {
 // pair[i][j] (i < j) is the connection between parties i and j, with
 // party i holding pair[i][j] locally and party j the peer end given in
 // peer[i][j]. Both halves must be non-nil for every i < j.
-func NewNetMesh(p int, pair, peer [][]net.Conn) (*NetMesh, error) {
+func NewNetMesh(p int, pair, peer [][]net.Conn, opts ...Option) (*NetMesh, error) {
 	if p < 2 {
 		return nil, fmt.Errorf("transport: mesh needs at least 2 parties, got %d", p)
 	}
+	o := applyOptions(opts)
 	m := &NetMesh{p: p, conns: make([]*netConn, p)}
+	m.obs = newMeshObs(p, "transport.net", o.rec)
 	for i := 0; i < p; i++ {
 		m.conns[i] = &netConn{mesh: m, id: i, links: make([]*link, p)}
 	}
@@ -99,7 +102,7 @@ func NewNetMesh(p int, pair, peer [][]net.Conn) (*NetMesh, error) {
 // NewTCPMesh listens on P loopback sockets, connects every party pair,
 // and returns the assembled mesh. The handshake reuses the session
 // layer's Hello frame so each accepted connection self-identifies.
-func NewTCPMesh(p int) (*NetMesh, error) {
+func NewTCPMesh(p int, opts ...Option) (*NetMesh, error) {
 	if p < 2 {
 		return nil, fmt.Errorf("transport: mesh needs at least 2 parties, got %d", p)
 	}
@@ -168,7 +171,7 @@ func NewTCPMesh(p int) (*NetMesh, error) {
 			peer[i][j] = dialed
 		}
 	}
-	return NewNetMesh(p, pair, peer)
+	return NewNetMesh(p, pair, peer, opts...)
 }
 
 // Parties returns P.
@@ -208,7 +211,7 @@ func (c *netConn) Send(to int, payload []byte) error {
 	}
 	l := c.links[to]
 	if err, ok := l.werr.Load().(error); ok {
-		return err
+		return wrapClosed(err)
 	}
 	frame := encodeShareFrame(uint32(c.id), payload)
 	if err := l.out.push(frame); err != nil {
@@ -216,18 +219,21 @@ func (c *netConn) Send(to int, payload []byte) error {
 	}
 	c.mesh.messages.Add(1)
 	c.mesh.bytes.Add(int64(len(payload)))
+	c.mesh.obs.onSend(c.id, to, len(payload))
 	return nil
 }
 
 // Recv reads the next frame from the pair connection and validates the
-// sender id carried in the session field.
+// sender id carried in the session field. Peer-teardown errors (EOF,
+// reset, closed socket) are wrapped so errors.Is(err, ErrClosed) holds,
+// matching the channel mesh's failure mode.
 func (c *netConn) Recv(from int) ([]byte, error) {
 	if from == c.id || from < 0 || from >= c.mesh.p {
 		return nil, fmt.Errorf("transport: party %d cannot receive from %d", c.id, from)
 	}
 	m, err := protocol.ReadMessage(c.links[from].conn)
 	if err != nil {
-		return nil, err
+		return nil, wrapClosed(err)
 	}
 	if m.Type != protocol.MsgShare {
 		return nil, fmt.Errorf("transport: party %d expected share frame from %d, got %v", c.id, from, m.Type)
@@ -235,6 +241,7 @@ func (c *netConn) Recv(from int) ([]byte, error) {
 	if m.Session != uint32(from) {
 		return nil, fmt.Errorf("transport: party %d expected sender %d, frame claims %d", c.id, from, m.Session)
 	}
+	c.mesh.obs.onRecv(from, c.id)
 	return m.Payload, nil
 }
 

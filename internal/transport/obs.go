@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"sqm/internal/obs"
+)
+
+// Option configures a mesh at construction time.
+type Option func(*options)
+
+type options struct {
+	rec obs.Recorder
+}
+
+// WithRecorder attaches an observability recorder: the mesh reports
+// per-link message/byte counters and a send→recv latency histogram into
+// the recorder's metric registry. A nil recorder (or the no-op
+// recorder) leaves the mesh uninstrumented at zero cost.
+func WithRecorder(rec obs.Recorder) Option {
+	return func(o *options) { o.rec = rec }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// meshObs holds a mesh's telemetry state: aggregate and per-link
+// counters plus the send→recv latency histogram, all resolved once at
+// mesh construction. A nil *meshObs (telemetry disabled) makes every
+// method a single-branch no-op — the hot resharing path never pays for
+// disabled telemetry.
+//
+// Latency is measured by pairing each successful Recv with the
+// timestamp its Send recorded: per ordered pair, both meshes deliver in
+// FIFO order, so the queues line up without touching the wire format.
+type meshObs struct {
+	msgs, bytes *obs.Counter
+	latency     *obs.Histogram
+	linkMsgs    [][]*obs.Counter // [from][to]
+	linkBytes   [][]*obs.Counter
+	stamps      [][]*stampQueue
+}
+
+// newMeshObs resolves the metric handles for a p-party mesh under the
+// given name prefix ("transport.chan" or "transport.net"). Returns nil
+// when the recorder carries no registry.
+func newMeshObs(p int, prefix string, rec obs.Recorder) *meshObs {
+	if rec == nil {
+		return nil
+	}
+	m := rec.Metrics()
+	if m == nil {
+		return nil
+	}
+	o := &meshObs{
+		msgs:    m.Counter(prefix + ".messages"),
+		bytes:   m.Counter(prefix + ".bytes"),
+		latency: m.Histogram(prefix + ".send_recv.seconds"),
+	}
+	o.linkMsgs = make([][]*obs.Counter, p)
+	o.linkBytes = make([][]*obs.Counter, p)
+	o.stamps = make([][]*stampQueue, p)
+	for i := 0; i < p; i++ {
+		o.linkMsgs[i] = make([]*obs.Counter, p)
+		o.linkBytes[i] = make([]*obs.Counter, p)
+		o.stamps[i] = make([]*stampQueue, p)
+		for j := 0; j < p; j++ {
+			if i == j {
+				continue
+			}
+			link := fmt.Sprintf("%s.link.%d_%d", prefix, i, j)
+			o.linkMsgs[i][j] = m.Counter(link + ".messages")
+			o.linkBytes[i][j] = m.Counter(link + ".bytes")
+			o.stamps[i][j] = &stampQueue{}
+		}
+	}
+	return o
+}
+
+// onSend records one accepted send of n payload bytes from→to.
+func (o *meshObs) onSend(from, to, n int) {
+	if o == nil {
+		return
+	}
+	o.msgs.Add(1)
+	o.bytes.Add(int64(n))
+	o.linkMsgs[from][to].Add(1)
+	o.linkBytes[from][to].Add(int64(n))
+	o.stamps[from][to].push(time.Now())
+}
+
+// onRecv pairs one successful receive at to from from with its send
+// timestamp and observes the latency.
+func (o *meshObs) onRecv(from, to int) {
+	if o == nil {
+		return
+	}
+	if at, ok := o.stamps[from][to].pop(); ok {
+		o.latency.ObserveSince(at)
+	}
+}
+
+// stampQueue is a FIFO of send timestamps for one ordered party pair.
+type stampQueue struct {
+	mu    sync.Mutex
+	times []time.Time
+}
+
+func (q *stampQueue) push(t time.Time) {
+	q.mu.Lock()
+	q.times = append(q.times, t)
+	q.mu.Unlock()
+}
+
+func (q *stampQueue) pop() (time.Time, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.times) == 0 {
+		return time.Time{}, false
+	}
+	t := q.times[0]
+	q.times = q.times[1:]
+	return t, true
+}
+
+// wrapClosed normalizes the EOF-ish errors a socket mesh surfaces when
+// a peer tears down mid-round so that callers can test
+// errors.Is(err, ErrClosed) uniformly across chan and net meshes. The
+// original error stays reachable through Unwrap.
+func wrapClosed(err error) error {
+	if err == nil || errors.Is(err, ErrClosed) {
+		return err
+	}
+	if isTeardown(err) {
+		return &closedError{cause: err}
+	}
+	return err
+}
+
+// isTeardown reports whether the error is one of the shapes a closed
+// TCP connection produces.
+func isTeardown(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// closedError carries the raw teardown error while identifying as
+// ErrClosed.
+type closedError struct{ cause error }
+
+func (e *closedError) Error() string { return ErrClosed.Error() + ": " + e.cause.Error() }
+
+// Is matches ErrClosed, so errors.Is(err, ErrClosed) holds.
+func (e *closedError) Is(target error) bool { return target == ErrClosed }
+
+// Unwrap exposes the underlying transport error.
+func (e *closedError) Unwrap() error { return e.cause }

@@ -3,8 +3,12 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"testing"
+
+	"sqm/internal/obs"
 )
 
 // meshes returns one fresh instance of every Mesh implementation,
@@ -203,5 +207,134 @@ func TestMeshCountersMeasureBytes(t *testing.T) {
 				t.Fatalf("counters = (%d msgs, %d bytes), want (2, 64)", msgs, bytes)
 			}
 		})
+	}
+}
+
+// obsMeshes returns one instrumented instance of every Mesh
+// implementation plus the recorder that observed it.
+func obsMeshes(t *testing.T, p int) map[string]struct {
+	mesh Mesh
+	rec  obs.Recorder
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		mesh Mesh
+		rec  obs.Recorder
+	})
+	chRec := obs.NewLog(io.Discard, "text", obs.LevelInfo)
+	out["chan"] = struct {
+		mesh Mesh
+		rec  obs.Recorder
+	}{NewChanMesh(p, WithRecorder(chRec)), chRec}
+	tcpRec := obs.NewLog(io.Discard, "text", obs.LevelInfo)
+	tcp, err := NewTCPMesh(p, WithRecorder(tcpRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["tcp"] = struct {
+		mesh Mesh
+		rec  obs.Recorder
+	}{tcp, tcpRec}
+	return out
+}
+
+func TestMeshTelemetry(t *testing.T) {
+	prefix := map[string]string{"chan": "transport.chan", "tcp": "transport.net"}
+	for name, im := range obsMeshes(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			mesh, m := im.mesh, im.rec.Metrics()
+			defer mesh.Close()
+			for k := 0; k < 5; k++ {
+				if err := mesh.Conn(0).Send(1, make([]byte, 24)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := mesh.Conn(2).Send(0, make([]byte, 8)); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 5; k++ {
+				if _, err := mesh.Conn(1).Recv(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := mesh.Conn(0).Recv(2); err != nil {
+				t.Fatal(err)
+			}
+			pre := prefix[name]
+			if got := m.Counter(pre + ".messages").Value(); got != 6 {
+				t.Fatalf("%s.messages = %d, want 6", pre, got)
+			}
+			if got := m.Counter(pre + ".bytes").Value(); got != 5*24+8 {
+				t.Fatalf("%s.bytes = %d, want 128", pre, got)
+			}
+			if got := m.Counter(pre + ".link.0_1.messages").Value(); got != 5 {
+				t.Fatalf("link 0->1 messages = %d, want 5", got)
+			}
+			if got := m.Counter(pre + ".link.2_0.bytes").Value(); got != 8 {
+				t.Fatalf("link 2->0 bytes = %d, want 8", got)
+			}
+			if got := m.Counter(pre + ".link.1_0.messages").Value(); got != 0 {
+				t.Fatalf("unused link counted %d messages", got)
+			}
+			lat := m.Histogram(pre + ".send_recv.seconds").Snapshot()
+			if lat.Count != 6 {
+				t.Fatalf("latency observations = %d, want 6", lat.Count)
+			}
+			if lat.Max <= 0 {
+				t.Fatalf("latency max = %g, want > 0", lat.Max)
+			}
+		})
+	}
+}
+
+// TestNetMeshTeardownIsErrClosed pins the uniform failure mode: after a
+// peer tears down, the socket mesh's raw EOF/reset errors must be
+// recognizable as transport.ErrClosed, exactly like the channel mesh.
+func TestNetMeshTeardownIsErrClosed(t *testing.T) {
+	mesh, err := NewTCPMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := mesh.Conn(1).Recv(0)
+		done <- err
+	}()
+	if err := mesh.Conn(0).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after peer teardown = %v, want errors.Is(err, ErrClosed)", err)
+	}
+	// A Recv issued after the teardown fails the same way.
+	if _, err := mesh.Conn(2).Recv(0); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("late Recv = %v, want ErrClosed (or delivery)", err)
+	}
+}
+
+func TestWrapClosed(t *testing.T) {
+	cases := []struct {
+		in     error
+		closed bool
+	}{
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{fmt.Errorf("read: %w", io.EOF), true},
+		{ErrClosed, true},
+		{errors.New("protocol violation"), false},
+	}
+	for _, c := range cases {
+		got := wrapClosed(c.in)
+		if errors.Is(got, ErrClosed) != c.closed {
+			t.Errorf("wrapClosed(%v): ErrClosed match = %v, want %v", c.in, !c.closed, c.closed)
+		}
+		if c.in != ErrClosed && !errors.Is(got, c.in) {
+			t.Errorf("wrapClosed(%v) lost the cause", c.in)
+		}
+	}
+	if wrapClosed(nil) != nil {
+		t.Error("wrapClosed(nil) != nil")
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"sqm/internal/logreg"
 	"sqm/internal/marginal"
 	"sqm/internal/modelio"
+	"sqm/internal/obs"
 	"sqm/internal/pca"
 	"sqm/internal/poly"
 	"sqm/internal/protocol"
@@ -183,6 +184,35 @@ type Accountant = dp.Accountant
 
 // NewAccountant tracks RDP orders 2..maxAlpha (0 for the default).
 func NewAccountant(maxAlpha int) *Accountant { return dp.NewAccountant(maxAlpha) }
+
+// ---- Observability ----
+
+// Recorder is the telemetry sink threaded through the engines, meshes
+// and sessions: structured events plus a metrics registry of counters,
+// gauges and histograms. Attach one via Params.Recorder or
+// WithSessionRecorder; a nil Recorder disables telemetry at zero cost.
+type Recorder = obs.Recorder
+
+// RecorderMetrics is the registry a Recorder carries.
+type RecorderMetrics = obs.Metrics
+
+// Log levels accepted by NewLogRecorder.
+const (
+	LevelDebug = obs.LevelDebug
+	LevelInfo  = obs.LevelInfo
+	LevelWarn  = obs.LevelWarn
+)
+
+// NewLogRecorder builds a slog-backed recorder writing structured
+// events to w ("json" or "text" format) at or above min, with a fresh
+// metrics registry attached.
+func NewLogRecorder(w io.Writer, format string, min obs.Level) *obs.LogRecorder {
+	return obs.NewLog(w, format, min)
+}
+
+// NopRecorder is the disabled recorder: events vanish and no metrics
+// registry is attached.
+func NopRecorder() Recorder { return obs.Nop() }
 
 // GroupPrivacy converts a record-level (ε, δ) guarantee to a k-record
 // (user-level) one via the standard group-privacy bound — the baseline
@@ -425,21 +455,30 @@ type SessionOutcome = protocol.SessionOutcome
 // SessionResult is one round's broadcast result.
 type SessionResult = protocol.Result
 
+// SessionOption configures RunVFLSession / RunVFLSessionTCP.
+type SessionOption = protocol.SessionOption
+
+// WithSessionRecorder attaches a telemetry recorder to the session run:
+// the coordinator emits structured lifecycle events (session.start,
+// session.round, session.done, ...) and times every phase into the
+// recorder's metrics registry.
+func WithSessionRecorder(rec Recorder) SessionOption { return protocol.WithRecorder(rec) }
+
 // RunVFLSession executes the full SQM session lifecycle — hello,
 // parameter commitment, evaluation rounds, result broadcast — over the
 // versioned wire protocol (in-memory transport; a deployment would use
 // TLS connections). evaluate runs on the coordinator once per round
 // after every client finished its protocol work.
-func RunVFLSession(p SessionParams, hooks []SessionClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
-	return protocol.RunSession(p, hooks, evaluate)
+func RunVFLSession(p SessionParams, hooks []SessionClientHooks, evaluate func(round uint32) ([]int64, error), opts ...SessionOption) ([]SessionOutcome, error) {
+	return protocol.RunSession(p, hooks, evaluate, opts...)
 }
 
 // RunVFLSessionTCP is RunVFLSession with every client connected to the
 // coordinator over a real localhost TCP socket, so the session frames
 // cross the loopback stack. Pair it with an EngineActorBGWNet evaluate
 // callback to run the whole pipeline over genuine network traffic.
-func RunVFLSessionTCP(p SessionParams, hooks []SessionClientHooks, evaluate func(round uint32) ([]int64, error)) ([]SessionOutcome, error) {
-	return protocol.RunSessionTCP(p, hooks, evaluate)
+func RunVFLSessionTCP(p SessionParams, hooks []SessionClientHooks, evaluate func(round uint32) ([]int64, error), opts ...SessionOption) ([]SessionOutcome, error) {
+	return protocol.RunSessionTCP(p, hooks, evaluate, opts...)
 }
 
 // ---- Model persistence ----

@@ -10,6 +10,8 @@ import (
 	"log"
 
 	"sqm"
+
+	"sqm/internal/mathx"
 )
 
 func main() {
@@ -68,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("BGW estimate        : %.6f (identical: %v)\n", estMPC, estMPC == est)
+	fmt.Printf("BGW estimate        : %.6f (identical: %v)\n", estMPC, mathx.EqualWithin(estMPC, est, 0))
 	fmt.Printf("BGW cost            : %d rounds, %d messages, simulated time %v\n",
 		traceMPC.Stats.Rounds, traceMPC.Stats.Messages, traceMPC.TotalTime().Round(1e6))
 }

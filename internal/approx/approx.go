@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"sqm/internal/mathx"
 	"sqm/internal/poly"
 )
 
@@ -47,7 +48,7 @@ type Poly1 struct {
 // polynomial).
 func (p *Poly1) Degree() int {
 	for i := len(p.Coefs) - 1; i >= 0; i-- {
-		if p.Coefs[i] != 0 {
+		if !mathx.EqualWithin(p.Coefs[i], 0, 0) {
 			return i
 		}
 	}
@@ -186,7 +187,7 @@ func MinDegreeFor(f Func, r, tol float64, maxDegree int) (*Poly1, error) {
 func (p *Poly1) ToUnivariatePoly() *poly.Polynomial {
 	ms := make([]poly.Monomial, 0, len(p.Coefs))
 	for i, c := range p.Coefs {
-		if c == 0 {
+		if mathx.EqualWithin(c, 0, 0) {
 			continue
 		}
 		ms = append(ms, poly.Monomial{Coef: c, Exps: []int{i}})

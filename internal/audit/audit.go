@@ -13,6 +13,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"sqm/internal/mathx"
 )
 
 // Sampler draws one output of the mechanism on a fixed input; trial
@@ -46,7 +48,7 @@ func (c *Config) normalize() error {
 	if c.Delta < 0 {
 		return errors.New("audit: negative delta")
 	}
-	if c.MinMass == 0 {
+	if mathx.EqualWithin(c.MinMass, 0, 0) {
 		c.MinMass = 2 / float64(c.Trials)
 	}
 	return nil
@@ -79,7 +81,7 @@ func EstimateEpsilon(onX, onNeighbor Sampler, cfg Config) (*Result, error) {
 	if !(hi > lo) {
 		// Degenerate: both mechanisms are constant. Identical
 		// constants are perfectly private; distinct ones blatant.
-		if xs[0] == ys[0] {
+		if mathx.EqualWithin(xs[0], ys[0], 0) {
 			return &Result{EpsilonLower: 0, Trials: cfg.Trials, Bins: cfg.Bins}, nil
 		}
 		return &Result{EpsilonLower: math.Inf(1), Trials: cfg.Trials, Bins: cfg.Bins}, nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/field"
+	"sqm/internal/invariant"
 	"sqm/internal/randx"
 )
 
@@ -97,7 +98,7 @@ type Share struct {
 // other party.
 func (e *Engine) Input(owner int, v int64) *Share {
 	if owner < 0 || owner >= e.p {
-		panic("beaver: owner out of range")
+		panic(invariant.Violation("beaver: owner out of range"))
 	}
 	sh := additiveShares(field.FromInt64(v), e.p, e.rngs[owner])
 	e.stats.Messages += int64(e.p - 1)
@@ -175,7 +176,7 @@ func (e *Engine) Mul(x, y *Share) (*Share, error) {
 // Open reveals the signed secret (all parties broadcast their addend).
 func (e *Engine) Open(s *Share) int64 {
 	if s.eng != e {
-		panic("beaver: foreign share")
+		panic(invariant.Violation("beaver: foreign share"))
 	}
 	return field.ToInt64(e.openRaw(s.shares))
 }
@@ -201,6 +202,6 @@ func subShares(a, b []field.Elem) []field.Elem {
 
 func (e *Engine) checkSame(a, b *Share) {
 	if a.eng != e || b.eng != e {
-		panic("beaver: share from a different engine")
+		panic(invariant.Violation("beaver: share from a different engine"))
 	}
 }

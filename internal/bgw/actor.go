@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/field"
+	"sqm/internal/invariant"
 	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/shamir"
@@ -236,7 +237,7 @@ func (e *ActorEngine) newVec() int {
 func (e *ActorEngine) scRef(v Val) int {
 	s, ok := v.(*ActorShared)
 	if !ok || s.eng != e {
-		panic("bgw: share from a different engine")
+		panic(invariant.Violation("bgw: share from a different engine"))
 	}
 	return s.ref
 }
@@ -244,14 +245,14 @@ func (e *ActorEngine) scRef(v Val) int {
 func (e *ActorEngine) vecRef(v Vec) int {
 	s, ok := v.(*ActorVec)
 	if !ok || s.eng != e {
-		panic("bgw: vector from a different engine")
+		panic(invariant.Violation("bgw: vector from a different engine"))
 	}
 	return s.ref
 }
 
 func (e *ActorEngine) checkParty(i int) {
 	if i < 0 || i >= e.p {
-		panic(fmt.Sprintf("bgw: party %d out of range [0,%d)", i, e.p))
+		panic(invariant.Violation("bgw: party %d out of range [0,%d)", i, e.p))
 	}
 }
 
@@ -358,7 +359,7 @@ func (e *ActorEngine) Mul(a, b Val) Val {
 // local sums of share products, then a single resharing.
 func (e *ActorEngine) InnerProduct(as, bs []Val) Val {
 	if len(as) != len(bs) {
-		panic("bgw: InnerProduct length mismatch")
+		panic(invariant.Violation("bgw: InnerProduct length mismatch"))
 	}
 	refs := make([]int, len(as))
 	refs2 := make([]int, len(bs))
@@ -376,7 +377,7 @@ func (e *ActorEngine) InnerProduct(as, bs []Val) Val {
 // collection is facade-side synchronization, not protocol traffic).
 func (e *ActorEngine) AdditiveShares(s Val, weights []field.Elem) []field.Elem {
 	if len(weights) != e.p {
-		panic("bgw: AdditiveShares weight count mismatch")
+		panic(invariant.Violation("bgw: AdditiveShares weight count mismatch"))
 	}
 	ref := e.scRef(s)
 	w := append([]field.Elem(nil), weights...)
@@ -414,7 +415,7 @@ func (e *ActorEngine) Open(s Val) int64 {
 func (e *ActorEngine) At(v Vec, k int) Val {
 	rv := e.vecRef(v)
 	if k < 0 || k >= v.Len() {
-		panic("bgw: vector index out of range")
+		panic(invariant.Violation("bgw: vector index out of range"))
 	}
 	ref := e.newSc()
 	e.dispatch(&actorCmd{op: opAt, a: rv, k: k})
@@ -425,7 +426,7 @@ func (e *ActorEngine) At(v Vec, k int) Val {
 func (e *ActorEngine) AddVec(a, b Vec) Vec {
 	ra, rb := e.vecRef(a), e.vecRef(b)
 	if a.Len() != b.Len() {
-		panic("bgw: vector length mismatch")
+		panic(invariant.Violation("bgw: vector length mismatch"))
 	}
 	ref := e.newVec()
 	e.dispatch(&actorCmd{op: opAddVec, a: ra, b: rb})
@@ -436,7 +437,7 @@ func (e *ActorEngine) AddVec(a, b Vec) Vec {
 func (e *ActorEngine) Dot(a, b Vec) Val {
 	ra, rb := e.vecRef(a), e.vecRef(b)
 	if a.Len() != b.Len() {
-		panic("bgw: vector length mismatch")
+		panic(invariant.Violation("bgw: vector length mismatch"))
 	}
 	ref := e.newSc()
 	e.dispatch(&actorCmd{op: opDot, a: ra, b: rb})
@@ -459,7 +460,7 @@ func (e *ActorEngine) DotBatch(pairs []VecPair, workers int) []Val {
 		refs[i] = e.vecRef(pr.A)
 		refs2[i] = e.vecRef(pr.B)
 		if pr.A.Len() != pr.B.Len() {
-			panic("bgw: vector length mismatch")
+			panic(invariant.Violation("bgw: vector length mismatch"))
 		}
 	}
 	for i := range out {

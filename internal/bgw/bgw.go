@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sqm/internal/field"
+	"sqm/internal/invariant"
 	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/shamir"
@@ -172,7 +173,7 @@ func (e *Engine) InputElem(owner int, v field.Elem) *Shared {
 // OpenElem reveals the raw field element (no signed decoding).
 func (e *Engine) OpenElem(s *Shared) field.Elem {
 	if s.eng != e {
-		panic("bgw: foreign share")
+		panic(invariant.Violation("bgw: foreign share"))
 	}
 	e.stats.Messages += int64(e.p * (e.p - 1))
 	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
@@ -185,7 +186,7 @@ func (e *Engine) OpenElem(s *Shared) field.Elem {
 // Σ_i λ_i·s_i equals the secret. No communication.
 func (s *Shared) AdditiveShares(weights []field.Elem) []field.Elem {
 	if len(weights) != len(s.shares) {
-		panic("bgw: AdditiveShares weight count mismatch")
+		panic(invariant.Violation("bgw: AdditiveShares weight count mismatch"))
 	}
 	out := make([]field.Elem, len(s.shares))
 	for i, sh := range s.shares {
@@ -281,7 +282,7 @@ func (e *Engine) reshare(high []field.Elem) *Shared {
 // instead of per product).
 func (e *Engine) InnerProduct(as, bs []*Shared) *Shared {
 	if len(as) != len(bs) {
-		panic("bgw: InnerProduct length mismatch")
+		panic(invariant.Violation("bgw: InnerProduct length mismatch"))
 	}
 	acc := make([]field.Elem, e.p)
 	for k := range as {
@@ -299,7 +300,7 @@ func (e *Engine) InnerProduct(as, bs []*Shared) *Shared {
 // round with AdvanceRound.
 func (e *Engine) Open(s *Shared) int64 {
 	if s.eng != e {
-		panic("bgw: foreign share")
+		panic(invariant.Violation("bgw: foreign share"))
 	}
 	e.stats.Messages += int64(e.p * (e.p - 1))
 	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
@@ -309,15 +310,15 @@ func (e *Engine) Open(s *Shared) int64 {
 
 func (e *Engine) checkParty(i int) {
 	if i < 0 || i >= e.p {
-		panic(fmt.Sprintf("bgw: party %d out of range [0,%d)", i, e.p))
+		panic(invariant.Violation("bgw: party %d out of range [0,%d)", i, e.p))
 	}
 }
 
 func (e *Engine) checkSame(a, b *Shared) {
 	if a.eng != e || b.eng != e {
-		panic("bgw: share from a different engine")
+		panic(invariant.Violation("bgw: share from a different engine"))
 	}
 	if len(a.shares) != e.p || len(b.shares) != e.p {
-		panic("bgw: malformed share vector")
+		panic(invariant.Violation("bgw: malformed share vector"))
 	}
 }

@@ -2,6 +2,7 @@ package bgw
 
 import (
 	"sqm/internal/field"
+	"sqm/internal/invariant"
 	"sqm/internal/shamir"
 )
 
@@ -101,14 +102,14 @@ func (e *Engine) AddConstVec(a *SharedVec, c int64) *SharedVec {
 // weight vector into the shared features without any resharing).
 func (e *Engine) LinComb(vecs []*SharedVec, coefs []int64) *SharedVec {
 	if len(vecs) == 0 || len(vecs) != len(coefs) {
-		panic("bgw: LinComb needs matching non-empty vecs/coefs")
+		panic(invariant.Violation("bgw: LinComb needs matching non-empty vecs/coefs"))
 	}
 	n := vecs[0].Len()
 	out := e.zeroVec(n)
 	for j, v := range vecs {
 		e.checkVec(v)
 		if v.Len() != n {
-			panic("bgw: LinComb length mismatch")
+			panic(invariant.Violation("bgw: LinComb length mismatch"))
 		}
 		c := field.FromInt64(coefs[j])
 		if c == 0 {
@@ -185,7 +186,7 @@ func (e *Engine) FromScalars(xs []*Shared) *SharedVec {
 	out := e.zeroVec(len(xs))
 	for k, x := range xs {
 		if x.eng != e {
-			panic("bgw: foreign share")
+			panic(invariant.Violation("bgw: foreign share"))
 		}
 		for i := 0; i < e.p; i++ {
 			out.shares[i][k] = x.shares[i]
@@ -204,7 +205,7 @@ func (e *Engine) zeroVec(n int) *SharedVec {
 
 func (e *Engine) checkVec(a *SharedVec) {
 	if a.eng != e {
-		panic("bgw: vector from a different engine")
+		panic(invariant.Violation("bgw: vector from a different engine"))
 	}
 }
 
@@ -212,6 +213,6 @@ func (e *Engine) checkSameVec(a, b *SharedVec) {
 	e.checkVec(a)
 	e.checkVec(b)
 	if a.Len() != b.Len() {
-		panic("bgw: vector length mismatch")
+		panic(invariant.Violation("bgw: vector length mismatch"))
 	}
 }

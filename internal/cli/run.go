@@ -17,6 +17,7 @@ import (
 	"sqm/internal/dp"
 	"sqm/internal/linreg"
 	"sqm/internal/logreg"
+	"sqm/internal/mathx"
 	"sqm/internal/obs"
 	"sqm/internal/pca"
 )
@@ -161,7 +162,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		return csvio.Write(w, cov, loaded.Header)
 	case "lr":
 		for i, y := range loaded.Labels {
-			if y != 0 && y != 1 {
+			if !mathx.EqualWithin(y, 0, 0) && !mathx.EqualWithin(y, 1, 0) {
 				return fmt.Errorf("lr needs 0/1 labels; row %d has %v", i+1, y)
 			}
 		}

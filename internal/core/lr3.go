@@ -7,6 +7,7 @@ import (
 
 	"sqm/internal/bgw"
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 	"sqm/internal/randx"
 )
 
@@ -87,7 +88,7 @@ func NewLR3Protocol(features *linalg.Matrix, labels []float64, p Params, precisi
 	if err := p.normalize(features.Cols + 1); err != nil {
 		return nil, err
 	}
-	if p.Gamma != math.Trunc(p.Gamma) {
+	if !mathx.EqualWithin(p.Gamma, math.Trunc(p.Gamma), 0) {
 		return nil, fmt.Errorf("core: LR3 requires an integer gamma, got %v", p.Gamma)
 	}
 	if precision == 0 {
@@ -108,7 +109,7 @@ func NewLR3Protocol(features *linalg.Matrix, labels []float64, p Params, precisi
 	g := lr.clientRNGs[labelClient]
 	lr.lab = make([]int64, lr.m)
 	for i, y := range labels {
-		if y != 0 && y != 1 {
+		if !mathx.EqualWithin(y, 0, 0) && !mathx.EqualWithin(y, 1, 0) {
 			return nil, fmt.Errorf("core: label %v is not 0/1", y)
 		}
 		lr.lab[i] = g.StochasticRound(p.Gamma * y)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/bgw"
+	"sqm/internal/invariant"
 	"sqm/internal/linalg"
 	"sqm/internal/poly"
 	"sqm/internal/quant"
@@ -268,7 +269,7 @@ func singleVar(exps []int) int {
 			return j
 		}
 	}
-	panic("core: not a degree-1 monomial")
+	panic(invariant.Violation("core: not a degree-1 monomial"))
 }
 
 // twoVars returns the (possibly equal) variable pair of a degree-2
@@ -287,7 +288,7 @@ func twoVars(exps []int) (int, int) {
 			return j, j
 		}
 	}
-	panic("core: not a degree-2 monomial")
+	panic(invariant.Violation("core: not a degree-2 monomial"))
 }
 
 func maxInt(a, b int) int {

@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 )
 
 // Options controls parsing.
@@ -164,7 +165,7 @@ func WriteVector(w io.Writer, v []float64, name string) error {
 func NormalizeRows(x *linalg.Matrix, c float64) int {
 	clipped := 0
 	for i := 0; i < x.Rows; i++ {
-		if linalg.ClipNorm(x.Row(i), c) != 1 {
+		if !mathx.EqualWithin(linalg.ClipNorm(x.Row(i), c), 1, 0) {
 			clipped++
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 	"sqm/internal/randx"
 )
 
@@ -39,7 +40,7 @@ func normalizeRows(x *linalg.Matrix) {
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		n := linalg.Norm2(row)
-		if n == 0 {
+		if mathx.EqualWithin(n, 0, 0) {
 			continue
 		}
 		linalg.ScaleVec(1/n, row)

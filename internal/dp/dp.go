@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"sqm/internal/invariant"
 	"sqm/internal/mathx"
 )
 
@@ -31,7 +32,7 @@ import (
 //	τ ≤ α·Δ₂²/(4μ) + min( ((2α−1)Δ₂² + 6Δ₁)/(16μ²), 3Δ₁/(4μ) ).
 func SkellamRDP(alpha int, delta1, delta2, mu float64) float64 {
 	if alpha < 2 {
-		panic("dp: SkellamRDP needs integer alpha >= 2")
+		panic(invariant.Violation("dp: SkellamRDP needs integer alpha >= 2"))
 	}
 	if mu <= 0 {
 		return math.Inf(1)
@@ -69,7 +70,7 @@ func GaussianRDP(alpha, delta2, sigma float64) float64 {
 //	ε = τ + ( log(1/δ) + (α−1)·log(1−1/α) − log α ) / (α−1).
 func RDPToDP(alpha int, tau, delta float64) float64 {
 	if alpha < 2 || delta <= 0 || delta >= 1 {
-		panic(fmt.Sprintf("dp: invalid RDPToDP arguments alpha=%d delta=%v", alpha, delta))
+		panic(invariant.Violation("dp: invalid RDPToDP arguments alpha=%d delta=%v", alpha, delta))
 	}
 	a := float64(alpha)
 	return tau + (math.Log(1/delta)+(a-1)*math.Log(1-1/a)-math.Log(a))/(a-1)
@@ -83,7 +84,7 @@ func RDPToDP(alpha int, tau, delta float64) float64 {
 // to k records.
 func GroupPrivacy(eps, delta float64, k int) (float64, float64) {
 	if k < 1 {
-		panic("dp: group size must be >= 1")
+		panic(invariant.Violation("dp: group size must be >= 1"))
 	}
 	if k == 1 {
 		return eps, delta
@@ -109,7 +110,7 @@ func GroupPrivacy(eps, delta float64, k int) (float64, float64) {
 // to 1 (the vacuous guarantee).
 func DPDelta(alpha int, tau, eps float64) float64 {
 	if alpha < 2 {
-		panic("dp: DPDelta needs integer alpha >= 2")
+		panic(invariant.Violation("dp: DPDelta needs integer alpha >= 2"))
 	}
 	a := float64(alpha)
 	logInvDelta := (eps-tau)*(a-1) - (a-1)*math.Log(1-1/a) + math.Log(a)
@@ -157,15 +158,15 @@ func Compose(taus ...float64) float64 {
 // The sum is evaluated in log space so large τ_l cannot overflow.
 func SubsampledRDP(alpha int, q float64, tau func(l int) float64) float64 {
 	if alpha < 2 {
-		panic("dp: SubsampledRDP needs integer alpha >= 2")
+		panic(invariant.Violation("dp: SubsampledRDP needs integer alpha >= 2"))
 	}
 	if q < 0 || q > 1 {
-		panic("dp: sampling rate must be in [0, 1]")
+		panic(invariant.Violation("dp: sampling rate must be in [0, 1]"))
 	}
-	if q == 0 {
+	if mathx.EqualWithin(q, 0, 0) {
 		return 0
 	}
-	if q == 1 {
+	if mathx.EqualWithin(q, 1, 0) {
 		return tau(alpha)
 	}
 	a := float64(alpha)

@@ -8,6 +8,7 @@ package field
 import (
 	"math/bits"
 
+	"sqm/internal/invariant"
 	"sqm/internal/randx"
 )
 
@@ -76,7 +77,7 @@ func Exp(a Elem, e uint64) Elem {
 // Inv returns the multiplicative inverse a^{p−2} mod p; Inv(0) panics.
 func Inv(a Elem) Elem {
 	if a == 0 {
-		panic("field: inverse of zero")
+		panic(invariant.Violation("field: inverse of zero"))
 	}
 	return Exp(a, Modulus-2)
 }
@@ -88,13 +89,13 @@ func FromInt64(v int64) Elem {
 	const half = Modulus / 2
 	if v >= 0 {
 		if uint64(v) > half {
-			panic("field: value exceeds signed embedding range")
+			panic(invariant.Violation("field: value exceeds signed embedding range"))
 		}
 		return Elem(v)
 	}
 	u := uint64(-v)
 	if u > half {
-		panic("field: value exceeds signed embedding range")
+		panic(invariant.Violation("field: value exceeds signed embedding range"))
 	}
 	return Elem(Modulus - u)
 }

@@ -1,0 +1,35 @@
+package invariant
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestViolationFormats(t *testing.T) {
+	e := Violation("field: inverse of zero")
+	if got := e.Error(); got != "field: inverse of zero" {
+		t.Fatalf("plain message: got %q", got)
+	}
+	e = Violation("bgw: party %d out of range [0,%d)", 7, 3)
+	if got := e.Error(); got != "bgw: party 7 out of range [0,3)" {
+		t.Fatalf("formatted message: got %q", got)
+	}
+}
+
+func TestViolationIsClassifiable(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic payload is not an error: %T", r)
+		}
+		var ie *Error
+		if !errors.As(err, &ie) {
+			t.Fatalf("payload not classifiable as *invariant.Error: %v", err)
+		}
+	}()
+	panic(Violation("test: deliberate"))
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"sqm/internal/mathx"
 	"sqm/internal/randx"
 )
 
@@ -68,7 +69,7 @@ func offDiagNorm(s *Matrix) float64 {
 // jacobiRotate zeroes s[p,q] with a Givens rotation, accumulating into v.
 func jacobiRotate(s, v *Matrix, p, q int) {
 	apq := s.At(p, q)
-	if apq == 0 {
+	if mathx.EqualWithin(apq, 0, 0) {
 		return
 	}
 	app, aqq := s.At(p, p), s.At(q, q)
@@ -131,7 +132,7 @@ func TopK(a *Matrix, k int, rng *randx.RNG, iters int) *Matrix {
 		for j := 0; j < k; j++ {
 			col := q.Col(j)
 			res := a.MulVec(col)
-			if sh != 0 {
+			if !mathx.EqualWithin(sh, 0, 0) {
 				Axpy(sh, col, res)
 			}
 			tmp.SetCol(j, res)
@@ -207,7 +208,7 @@ func ProjectPSD(a *Matrix) *Matrix {
 		}
 		v := e.Vectors.Col(k)
 		for i := 0; i < n; i++ {
-			if v[i] == 0 {
+			if mathx.EqualWithin(v[i], 0, 0) {
 				continue
 			}
 			row := out.Row(i)
@@ -228,7 +229,7 @@ func SpectralNorm(a *Matrix, rng *randx.RNG) float64 {
 	}
 	v := rng.GaussianVec(a.Cols, 1)
 	nv := Norm2(v)
-	if nv == 0 {
+	if mathx.EqualWithin(nv, 0, 0) {
 		return 0
 	}
 	ScaleVec(1/nv, v)
@@ -238,7 +239,7 @@ func SpectralNorm(a *Matrix, rng *randx.RNG) float64 {
 		w := a.MulVec(v)
 		v2 := at.MulVec(w)
 		n2 := Norm2(v2)
-		if n2 == 0 {
+		if mathx.EqualWithin(n2, 0, 0) {
 			return 0
 		}
 		ScaleVec(1/n2, v2)

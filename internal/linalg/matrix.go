@@ -6,8 +6,10 @@
 package linalg
 
 import (
-	"fmt"
 	"math"
+
+	"sqm/internal/invariant"
+	"sqm/internal/mathx"
 )
 
 // Matrix is a dense row-major matrix.
@@ -19,7 +21,7 @@ type Matrix struct {
 // NewMatrix allocates a zero Rows x Cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic("linalg: negative dimension")
+		panic(invariant.Violation("linalg: negative dimension"))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
@@ -32,7 +34,7 @@ func FromRows(rows [][]float64) *Matrix {
 	m := NewMatrix(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
-			panic(fmt.Sprintf("linalg: ragged row %d: %d != %d", i, len(r), m.Cols))
+			panic(invariant.Violation("linalg: ragged row %d: %d != %d", i, len(r), m.Cols))
 		}
 		copy(m.Row(i), r)
 	}
@@ -60,7 +62,7 @@ func (m *Matrix) Col(j int) []float64 {
 // SetCol assigns column j from v.
 func (m *Matrix) SetCol(j int, v []float64) {
 	if len(v) != m.Rows {
-		panic("linalg: SetCol length mismatch")
+		panic(invariant.Violation("linalg: SetCol length mismatch"))
 	}
 	for i := 0; i < m.Rows; i++ {
 		m.Set(i, j, v[i])
@@ -118,14 +120,14 @@ func (m *Matrix) Scale(s float64) *Matrix {
 // Mul returns the matrix product m * o.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
-		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+		panic(invariant.Violation("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	r := NewMatrix(m.Rows, o.Cols)
 	for i := 0; i < m.Rows; i++ {
 		mi := m.Row(i)
 		ri := r.Row(i)
 		for k, a := range mi {
-			if a == 0 {
+			if mathx.EqualWithin(a, 0, 0) {
 				continue
 			}
 			ok := o.Data[k*o.Cols : (k+1)*o.Cols]
@@ -144,7 +146,7 @@ func (m *Matrix) Gram() *Matrix {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for a, va := range row {
-			if va == 0 {
+			if mathx.EqualWithin(va, 0, 0) {
 				continue
 			}
 			ga := g.Row(a)
@@ -165,7 +167,7 @@ func (m *Matrix) Gram() *Matrix {
 // MulVec returns the matrix-vector product m * v.
 func (m *Matrix) MulVec(v []float64) []float64 {
 	if len(v) != m.Cols {
-		panic("linalg: MulVec length mismatch")
+		panic(invariant.Violation("linalg: MulVec length mismatch"))
 	}
 	r := make([]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -231,13 +233,13 @@ func (m *Matrix) MaxAbs() float64 {
 
 func (m *Matrix) mustSameShape(o *Matrix) {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
-		panic(fmt.Sprintf("linalg: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+		panic(invariant.Violation("linalg: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 }
 
 func (m *Matrix) mustSquare() {
 	if m.Rows != m.Cols {
-		panic(fmt.Sprintf("linalg: %dx%d matrix is not square", m.Rows, m.Cols))
+		panic(invariant.Violation("linalg: %dx%d matrix is not square", m.Rows, m.Cols))
 	}
 }
 
@@ -253,7 +255,7 @@ func Identity(n int) *Matrix {
 // Dot returns the inner product of a and b.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic("linalg: Dot length mismatch")
+		panic(invariant.Violation("linalg: Dot length mismatch"))
 	}
 	var s float64
 	for i, v := range a {
@@ -270,7 +272,7 @@ func Norm2(v []float64) float64 {
 // Axpy computes y += a*x in place.
 func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
-		panic("linalg: Axpy length mismatch")
+		panic(invariant.Violation("linalg: Axpy length mismatch"))
 	}
 	for i, v := range x {
 		y[i] += a * v
@@ -288,7 +290,7 @@ func ScaleVec(a float64, v []float64) {
 // applied (1 if no clipping occurred). c must be positive.
 func ClipNorm(v []float64, c float64) float64 {
 	n := Norm2(v)
-	if n <= c || n == 0 {
+	if n <= c || mathx.EqualWithin(n, 0, 0) {
 		return 1
 	}
 	f := c / n

@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"sqm/internal/invariant"
 )
 
 // ErrNotPositiveDefinite is returned by Cholesky when the matrix has a
@@ -39,7 +41,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 func SolveCholesky(l *Matrix, b []float64) []float64 {
 	n := l.Rows
 	if len(b) != n {
-		panic("linalg: SolveCholesky length mismatch")
+		panic(invariant.Violation("linalg: SolveCholesky length mismatch"))
 	}
 	// Forward: L·y = b.
 	y := make([]float64, n)

@@ -1,8 +1,10 @@
 package linalg
 
 import (
-	"fmt"
 	"math"
+
+	"sqm/internal/invariant"
+	"sqm/internal/mathx"
 )
 
 // Sparse is a compressed-sparse-row matrix. It exists for the
@@ -56,7 +58,7 @@ func (s *Sparse) RowNNZ(i int) ([]int, []float64) {
 // MulVec returns s·v.
 func (s *Sparse) MulVec(v []float64) []float64 {
 	if len(v) != s.Cols {
-		panic(fmt.Sprintf("linalg: Sparse.MulVec length %d != %d", len(v), s.Cols))
+		panic(invariant.Violation("linalg: Sparse.MulVec length %d != %d", len(v), s.Cols))
 	}
 	out := make([]float64, s.Rows)
 	for i := 0; i < s.Rows; i++ {
@@ -103,12 +105,12 @@ func (s *Sparse) FrobeniusNormSq() float64 {
 // TMulVec returns sᵀ·v (length Cols).
 func (s *Sparse) TMulVec(v []float64) []float64 {
 	if len(v) != s.Rows {
-		panic(fmt.Sprintf("linalg: Sparse.TMulVec length %d != %d", len(v), s.Rows))
+		panic(invariant.Violation("linalg: Sparse.TMulVec length %d != %d", len(v), s.Rows))
 	}
 	out := make([]float64, s.Cols)
 	for i := 0; i < s.Rows; i++ {
 		vi := v[i]
-		if vi == 0 {
+		if mathx.EqualWithin(vi, 0, 0) {
 			continue
 		}
 		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {

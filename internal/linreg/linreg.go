@@ -20,6 +20,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 	"sqm/internal/obs"
 	"sqm/internal/pca"
 	"sqm/internal/randx"
@@ -98,7 +99,7 @@ func R2(m *Model, x *linalg.Matrix, y []float64) float64 {
 		t := y[i] - mean
 		ssTot += t * t
 	}
-	if ssTot == 0 {
+	if mathx.EqualWithin(ssTot, 0, 0) {
 		return 0
 	}
 	return 1 - ssRes/ssTot

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	checks []string // analyzer names, or "all"
+	reason string
+}
+
+// matches reports whether the directive suppresses the given check.
+func (d *ignoreDirective) matches(check string) bool {
+	for _, c := range d.checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnoreDirectives scans a package's comments for
+// //lint:ignore directives. The directive grammar is
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// where <reason> is mandatory prose explaining why the finding is
+// acceptable. A directive suppresses matching diagnostics on its own
+// line (trailing comment) and on the immediately following line
+// (standalone comment above the offending statement). Malformed
+// directives are themselves reported as diagnostics so they cannot
+// silently fail to suppress.
+func parseIgnoreDirectives(pkgs []*Package) (directives []ignoreDirective, malformed []Diagnostic) {
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Check:    "lint",
+							Severity: SeverityError,
+							Pos:      pos,
+							Message:  "malformed //lint:ignore directive: want //lint:ignore <check> <reason>",
+						})
+						continue
+					}
+					directives = append(directives, ignoreDirective{
+						pos:    pos,
+						checks: strings.Split(fields[0], ","),
+						reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return directives, malformed
+}
+
+// applyIgnores splits diagnostics into kept and suppressed according
+// to the directives.
+func applyIgnores(diags []Diagnostic, directives []ignoreDirective) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		ignored := false
+		for i := range directives {
+			dir := &directives[i]
+			if dir.pos.Filename != d.Pos.Filename || !dir.matches(d.Check) {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				ignored = true
+				break
+			}
+		}
+		if ignored {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,136 @@
+// Package lint is a self-contained static-analysis framework for the
+// SQM repository, built on the standard library's go/parser, go/ast,
+// go/types and go/token only (no x/tools, matching the repo's
+// zero-dependency rule). It exists because SQM's correctness claims
+// rest on invariants the Go compiler cannot check: all randomness must
+// flow through the seeded samplers in internal/randx, secret shares
+// must never reach a formatter or telemetry sink, modular arithmetic
+// on field.Elem must route through internal/field's Mersenne
+// reduction, floating-point calibration code must not compare with ==,
+// and panics are reserved for designated invariant helpers.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis at
+// a fraction of the surface: an Analyzer holds a name, a doc string
+// and a Run function; a Pass hands the Run function one type-checked
+// package and a Report sink; the runner in run.go loads packages,
+// applies every analyzer, and filters diagnostics through
+// //lint:ignore suppression directives.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Severity classifies a diagnostic.
+type Severity string
+
+const (
+	// SeverityError marks a violation of a hard repo invariant.
+	SeverityError Severity = "error"
+	// SeverityWarning marks a finding that merits review but does not
+	// break an invariant on its own.
+	SeverityWarning Severity = "warning"
+)
+
+// Diagnostic is one finding, positioned in the loaded file set.
+type Diagnostic struct {
+	// Check is the name of the analyzer that produced the finding.
+	Check string
+	// Severity is the analyzer's severity class.
+	Severity Severity
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	// Fset positions every file of the load.
+	Fset *token.FileSet
+	// PkgPath is the import path of the package under analysis.
+	PkgPath string
+	// Files are the parsed non-test source files of the package.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and identifier facts.
+	Info *types.Info
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos with the analyzer's severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:    p.analyzer.Name,
+		Severity: p.analyzer.Severity,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by sqmlint -list.
+	Doc string
+	// Severity is attached to every diagnostic the check reports.
+	Severity Severity
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All returns the registered analyzer suite, sorted by name. Each
+// entry encodes one SQM invariant; see DESIGN.md "Static analysis".
+func All() []*Analyzer {
+	as := []*Analyzer{
+		AnalyzerRandDet,
+		AnalyzerFieldOps,
+		AnalyzerSecretLeak,
+		AnalyzerFloatEq,
+		AnalyzerPanicPolicy,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// Lookup returns the registered analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// sortDiagnostics orders findings by file, line, column, then check
+// name, so output is deterministic across runs.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}

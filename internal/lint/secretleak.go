@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// secretTypes are the named types whose values are secret shares or
+// share-correlated material under the distributed-DP threat model: a
+// single honest-but-curious party's view must stay share-only, so
+// these values must never be rendered into logs, errors, or telemetry.
+var secretTypes = map[string][]string{
+	"sqm/internal/bgw":    {"Shared", "SharedVec", "ActorShared", "ActorVec"},
+	"sqm/internal/beaver": {"Triple", "Share"},
+}
+
+// sinkPkgs are the packages whose calls render arguments into
+// human-readable output: the fmt verbs, the standard loggers, and the
+// repo's obs telemetry layer (whose Attr constructors and Event
+// payloads end up on an operator's console or a metrics endpoint).
+var sinkPkgs = map[string]bool{
+	"fmt":              true,
+	"log":              true,
+	"log/slog":         true,
+	"sqm/internal/obs": true,
+}
+
+// AnalyzerSecretLeak enforces the share-confidentiality invariant of
+// the distributed-DP threat model (shared with the Skellam mechanism
+// line of work): Shamir/BGW shares and Beaver triples are
+// information-theoretically useless alone but catastrophic in
+// aggregate, and a debug log line is an aggregation channel the
+// protocol does not account for. Any share-typed value (directly, or
+// inside a slice, map, pointer, struct field, or channel) passed to
+// fmt, log, log/slog, or internal/obs is flagged.
+var AnalyzerSecretLeak = &Analyzer{
+	Name:     "secretleak",
+	Doc:      "secret share values (bgw/beaver share types) passed to fmt, log, slog, or obs sinks",
+	Severity: SeverityError,
+	Run:      runSecretLeak,
+}
+
+func runSecretLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !pass.isSinkCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if name, leak := containsSecretType(tv.Type); leak {
+					pass.Reportf(arg.Pos(), "secret share value of type %s reaches a formatting/telemetry sink; shares must never be logged", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSinkCall reports whether call invokes a function or method that
+// belongs to one of the sink packages.
+func (p *Pass) isSinkCall(call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj := p.Info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return sinkPkgs[fn.Pkg().Path()]
+}
+
+// containsSecretType reports whether t is, or structurally contains, a
+// secret share type, returning the offending type's name. The
+// traversal follows pointers, slices, arrays, maps, channels, and
+// struct fields, with a visited set to terminate on recursive types.
+func containsSecretType(t types.Type) (string, bool) {
+	return secretWalk(t, make(map[types.Type]bool))
+}
+
+func secretWalk(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch tt := types.Unalias(t).(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil {
+			for _, name := range secretTypes[obj.Pkg().Path()] {
+				if obj.Name() == name {
+					return obj.Pkg().Path() + "." + name, true
+				}
+			}
+		}
+		return secretWalk(tt.Underlying(), seen)
+	case *types.Pointer:
+		return secretWalk(tt.Elem(), seen)
+	case *types.Slice:
+		return secretWalk(tt.Elem(), seen)
+	case *types.Array:
+		return secretWalk(tt.Elem(), seen)
+	case *types.Chan:
+		return secretWalk(tt.Elem(), seen)
+	case *types.Map:
+		if name, ok := secretWalk(tt.Key(), seen); ok {
+			return name, true
+		}
+		return secretWalk(tt.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if name, ok := secretWalk(tt.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,10 @@
+// Package badignorefixture holds a malformed suppression directive
+// (no reason given): the runner must report it and must not let it
+// suppress the finding it sits above.
+package badignorefixture
+
+// Bad tries to suppress a finding with a reason-less directive.
+func Bad(x float64) bool {
+	//lint:ignore floateq
+	return x == 0 // want "floating-point == comparison"
+}

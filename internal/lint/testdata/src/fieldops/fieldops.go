@@ -1,0 +1,38 @@
+// Package fieldopsfixture exercises the fieldops analyzer: raw
+// arithmetic on field.Elem (or on the field modulus) outside
+// internal/field must be flagged; helper calls and comparisons are
+// fine.
+package fieldopsfixture
+
+import "sqm/internal/field"
+
+// Bad performs every flavor of raw arithmetic the analyzer catches.
+func Bad(a, b field.Elem) field.Elem {
+	s := a + b                // want "raw operator \+ on field.Elem"
+	p := a * b                // want "raw operator \* on field.Elem"
+	d := a - b                // want "raw operator - on field.Elem"
+	q := a / b                // want "raw operator / on field.Elem"
+	r := a % b                // want "raw operator % on field.Elem"
+	s += p                    // want "raw operator \+= on field.Elem"
+	s++                       // want "raw operator \+\+ on field.Elem"
+	n := -d                   // want "raw negation of field.Elem"
+	m := field.Modulus%2 + 1  // want "raw operator % on field.Elem"
+	_ = uint64(q) + uint64(r) // conversions drop the Elem type: not flagged
+	_ = n
+	_ = m
+	return s
+}
+
+// Suppressed shows a reviewed escape hatch.
+func Suppressed(a, b field.Elem) field.Elem {
+	//lint:ignore fieldops fixture demonstrating a reviewed suppression
+	return a + b
+}
+
+// Good routes arithmetic through the field helpers.
+func Good(a, b field.Elem) field.Elem {
+	if a == b || a < b { // comparisons are fine
+		return field.Add(a, b)
+	}
+	return field.Mul(field.Sub(a, b), field.Neg(b))
+}

@@ -1,0 +1,26 @@
+// Package floateqfixture exercises the floateq analyzer: raw == and !=
+// between floating-point operands must be flagged; integer comparison
+// and the mathx tolerance helper are fine.
+package floateqfixture
+
+import "sqm/internal/mathx"
+
+// Bad compares floats with raw operators.
+func Bad(x, y float64, f float32) bool {
+	a := x == y     // want "floating-point == comparison"
+	b := x != 0     // want "floating-point != comparison"
+	c := f == 1.5   // want "floating-point == comparison"
+	d := x+1 == y*2 // want "floating-point == comparison"
+	return a || b || c || d
+}
+
+// Suppressed shows a reviewed escape hatch.
+func Suppressed(x float64) bool {
+	//lint:ignore floateq fixture demonstrating a reviewed suppression
+	return x == 0
+}
+
+// Good compares through the tolerance helper or on integers.
+func Good(x, y float64, n, m int) bool {
+	return mathx.EqualWithin(x, y, 1e-12) || n == m || x < y
+}

@@ -1,0 +1,41 @@
+// Package panicpolicyfixture exercises the panicpolicy analyzer in a
+// library package: bare panics must be flagged, invariant.Violation
+// payloads are the sanctioned form.
+package panicpolicyfixture
+
+import (
+	"errors"
+	"fmt"
+
+	"sqm/internal/invariant"
+)
+
+// Bad panics with undeclared payloads.
+func Bad(n int) {
+	if n < 0 {
+		panic("fixture: negative n") // want "bare panic"
+	}
+	if n > 100 {
+		panic(fmt.Sprintf("fixture: n too large: %d", n)) // want "bare panic"
+	}
+	if n == 13 {
+		panic(errors.New("fixture: unlucky")) // want "bare panic"
+	}
+}
+
+// Suppressed shows a reviewed escape hatch.
+func Suppressed() {
+	//lint:ignore panicpolicy fixture demonstrating a reviewed suppression
+	panic("fixture: reviewed bare panic")
+}
+
+// Good panics only through the designated invariant helper.
+func Good(n int) error {
+	if n < 0 {
+		panic(invariant.Violation("fixture: negative n %d", n))
+	}
+	if n > 100 {
+		return errors.New("fixture: n too large")
+	}
+	return nil
+}

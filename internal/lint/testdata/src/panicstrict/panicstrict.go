@@ -1,0 +1,17 @@
+// Package panicstrictfixture is loaded by the tests under the import
+// path of an exported API surface (sqm/internal/cli), where the
+// panicpolicy analyzer forbids every panic — even invariant ones.
+package panicstrictfixture
+
+import "sqm/internal/invariant"
+
+// Bad panics on an exported API surface.
+func Bad(n int) error {
+	if n < 0 {
+		panic("fixture: negative n") // want "panic on an exported API surface"
+	}
+	if n > 100 {
+		panic(invariant.Violation("fixture: even invariant panics are banned here")) // want "panic on an exported API surface"
+	}
+	return nil
+}

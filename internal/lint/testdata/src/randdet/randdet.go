@@ -1,0 +1,19 @@
+// Package randdetfixture exercises the randdet analyzer: every raw
+// randomness import outside internal/randx must be flagged.
+package randdetfixture
+
+import (
+	cryptorand "crypto/rand" // want "import of \"crypto/rand\" outside internal/randx"
+	"math/rand"              // want "import of \"math/rand\" outside internal/randx"
+	randv2 "math/rand/v2"    //lint:ignore randdet fixture demonstrating a reviewed suppression
+
+	"time"
+)
+
+// Uses keep the imports alive so the fixture type-checks.
+var (
+	_ = rand.Int
+	_ = randv2.Int64
+	_ = cryptorand.Read
+	_ = time.Now // unrelated import: must not be flagged
+)

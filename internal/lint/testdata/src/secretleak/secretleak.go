@@ -1,0 +1,44 @@
+// Package secretleakfixture exercises the secretleak analyzer: share-
+// typed values must never reach fmt, log, slog, or obs sinks, whether
+// passed directly or buried inside a container or struct.
+package secretleakfixture
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+
+	"sqm/internal/beaver"
+	"sqm/internal/bgw"
+	"sqm/internal/obs"
+)
+
+// wrapper buries a share inside a struct to test containment.
+type wrapper struct {
+	Round int
+	Share bgw.Shared
+}
+
+// Bad leaks shares through every sink family.
+func Bad(s bgw.Shared, v bgw.SharedVec, t beaver.Triple, w wrapper) {
+	fmt.Println(s)                             // want "secret share value of type sqm/internal/bgw.Shared"
+	fmt.Printf("%v\n", v)                      // want "secret share value of type sqm/internal/bgw.SharedVec"
+	_ = fmt.Sprintf("%+v", t)                  // want "secret share value of type sqm/internal/beaver.Triple"
+	log.Println(w)                             // want "secret share value of type sqm/internal/bgw.Shared"
+	slog.Info("debug", "sh", s)                // want "secret share value of type sqm/internal/bgw.Shared"
+	_ = fmt.Errorf("bad: %v", []bgw.Shared{s}) // want "secret share value of type sqm/internal/bgw.Shared"
+	_ = obs.String("share", fmt.Sprint(s))     // want "secret share value of type sqm/internal/bgw.Shared"
+}
+
+// Suppressed shows a reviewed escape hatch.
+func Suppressed(s bgw.Shared) {
+	//lint:ignore secretleak fixture demonstrating a reviewed suppression
+	fmt.Println(s)
+}
+
+// Good logs only non-secret derivatives.
+func Good(vs []bgw.Shared) {
+	fmt.Printf("holding %d shares\n", len(vs))
+	slog.Info("round done", "shares", len(vs))
+	_ = obs.Int("shares", len(vs))
+}

@@ -8,6 +8,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 	"sqm/internal/poly"
 	"sqm/internal/randx"
 )
@@ -122,7 +123,7 @@ func glmGradientPoly(link *approx.Poly1, w []float64, d int) (*poly.Multi, error
 		merged := map[string]int{}
 		for _, t := range powers[h-1] {
 			for j := 0; j < d; j++ {
-				if w[j] == 0 {
+				if mathx.EqualWithin(w[j], 0, 0) {
 					continue
 				}
 				exps := append([]int(nil), t.exps...)
@@ -141,7 +142,7 @@ func glmGradientPoly(link *approx.Poly1, w []float64, d int) (*poly.Multi, error
 	for t := 0; t < d; t++ {
 		var ms []poly.Monomial
 		for h, c := range link.Coefs {
-			if c == 0 {
+			if mathx.EqualWithin(c, 0, 0) {
 				continue
 			}
 			for _, tm := range powers[h] {

@@ -21,6 +21,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/vfl"
@@ -54,7 +55,7 @@ func (c *Config) normalize() error {
 	if c.SampleRate <= 0 || c.SampleRate > 1 {
 		return fmt.Errorf("logreg: sample rate must be in (0, 1], got %v", c.SampleRate)
 	}
-	if c.LearnRate == 0 {
+	if mathx.EqualWithin(c.LearnRate, 0, 0) {
 		c.LearnRate = 0.5
 	}
 	if c.LearnRate < 0 {
@@ -93,7 +94,7 @@ func Accuracy(m *Model, x *linalg.Matrix, y []float64) float64 {
 	}
 	correct := 0
 	for i := 0; i < x.Rows; i++ {
-		if (m.PredictProb(x.Row(i)) >= 0.5) == (y[i] == 1) {
+		if (m.PredictProb(x.Row(i)) >= 0.5) == mathx.EqualWithin(y[i], 1, 0) {
 			correct++
 		}
 	}
@@ -111,7 +112,7 @@ func AUC(m *Model, x *linalg.Matrix, y []float64) float64 {
 	var items []scored
 	var nPos, nNeg float64
 	for i := 0; i < x.Rows; i++ {
-		s := scored{p: m.PredictProb(x.Row(i)), pos: y[i] == 1}
+		s := scored{p: m.PredictProb(x.Row(i)), pos: mathx.EqualWithin(y[i], 1, 0)}
 		if s.pos {
 			nPos++
 		} else {
@@ -119,7 +120,7 @@ func AUC(m *Model, x *linalg.Matrix, y []float64) float64 {
 		}
 		items = append(items, s)
 	}
-	if nPos == 0 || nNeg == 0 {
+	if mathx.EqualWithin(nPos, 0, 0) || mathx.EqualWithin(nNeg, 0, 0) {
 		return 0.5
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].p < items[j].p })
@@ -128,7 +129,7 @@ func AUC(m *Model, x *linalg.Matrix, y []float64) float64 {
 	i := 0
 	for i < len(items) {
 		j := i
-		for j < len(items) && items[j].p == items[i].p {
+		for j < len(items) && mathx.EqualWithin(items[j].p, items[i].p, 0) {
 			j++
 		}
 		avgRank := float64(i+j+1) / 2 // 1-based average rank of the tie group

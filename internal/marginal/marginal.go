@@ -17,6 +17,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 	"sqm/internal/poly"
 )
 
@@ -82,7 +83,7 @@ func Answer(x *linalg.Matrix, queries []Query, eps, delta, gamma float64, p core
 		return nil, fmt.Errorf("marginal: empty workload")
 	}
 	for _, v := range x.Data {
-		if v != 0 && v != 1 {
+		if !mathx.EqualWithin(v, 0, 0) && !mathx.EqualWithin(v, 1, 0) {
 			return nil, fmt.Errorf("marginal: data must be binary, found %v", v)
 		}
 	}
@@ -128,7 +129,7 @@ func TrueCounts(x *linalg.Matrix, queries []Query) ([]float64, error) {
 			row := x.Row(i)
 			match := true
 			for _, a := range q.Attrs {
-				if row[a] != 1 {
+				if !mathx.EqualWithin(row[a], 1, 0) {
 					match = false
 					break
 				}

@@ -32,7 +32,7 @@ func LogSub(a, b float64) float64 {
 	if math.IsInf(b, -1) {
 		return a
 	}
-	if a == b {
+	if EqualWithin(a, b, 0) {
 		return NegInf
 	}
 	if a < b {
@@ -83,10 +83,10 @@ var ErrNoRoot = errors.New("mathx: bracket does not contain a sign change")
 // iterations (53 is enough for full float64 resolution of the bracket).
 func Bisect(f func(float64) float64, lo, hi float64, iter int) (float64, error) {
 	flo, fhi := f(lo), f(hi)
-	if flo == 0 {
+	if EqualWithin(flo, 0, 0) {
 		return lo, nil
 	}
-	if fhi == 0 {
+	if EqualWithin(fhi, 0, 0) {
 		return hi, nil
 	}
 	if (flo > 0) == (fhi > 0) {
@@ -95,7 +95,7 @@ func Bisect(f func(float64) float64, lo, hi float64, iter int) (float64, error) 
 	for i := 0; i < iter; i++ {
 		mid := lo + (hi-lo)/2
 		fm := f(mid)
-		if fm == 0 {
+		if EqualWithin(fm, 0, 0) {
 			return mid, nil
 		}
 		if (fm > 0) == (flo > 0) {
@@ -127,6 +127,19 @@ func BisectMonotone(pred func(float64) bool, lo, hi float64, iter int) (float64,
 		}
 	}
 	return hi, true
+}
+
+// EqualWithin reports whether a and b differ by at most tol. It is the
+// repo's designated floating-point comparison helper, enforced by the
+// sqmlint floateq analyzer: a tolerance of 0 asserts exact equality
+// explicitly (and still treats equal infinities as equal), while a
+// positive tolerance absorbs last-ulp drift from transcendental
+// pipelines. NaN compares unequal to everything, matching ==.
+func EqualWithin(a, b, tol float64) bool {
+	if a == b { //lint:ignore floateq the tolerance helper is the one sanctioned exact-comparison site
+		return true
+	}
+	return math.Abs(a-b) <= tol
 }
 
 // Clamp limits v to the closed interval [lo, hi].

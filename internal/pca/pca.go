@@ -19,6 +19,7 @@ import (
 	"sqm/internal/core"
 	"sqm/internal/dp"
 	"sqm/internal/linalg"
+	"sqm/internal/mathx"
 	"sqm/internal/obs"
 	"sqm/internal/randx"
 	"sqm/internal/vfl"
@@ -105,7 +106,7 @@ func gramOf(x *linalg.Matrix) *linalg.Matrix {
 	}
 	nnz := 0
 	for _, v := range x.Data {
-		if v != 0 {
+		if !mathx.EqualWithin(v, 0, 0) {
 			nnz++
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"sqm/internal/invariant"
 	"sqm/internal/quant"
 	"sqm/internal/randx"
 )
@@ -29,7 +30,7 @@ func (m Monomial) Degree() int {
 	d := 0
 	for _, e := range m.Exps {
 		if e < 0 {
-			panic("poly: negative exponent")
+			panic(invariant.Violation("poly: negative exponent"))
 		}
 		d += e
 	}
@@ -74,7 +75,7 @@ func NewPolynomial(numVars int, monomials ...Monomial) (*Polynomial, error) {
 func MustPolynomial(numVars int, monomials ...Monomial) *Polynomial {
 	p, err := NewPolynomial(numVars, monomials...)
 	if err != nil {
-		panic(err)
+		panic(invariant.Violation("poly: %v", err))
 	}
 	return p
 }
@@ -123,7 +124,7 @@ func NewMulti(dims ...*Polynomial) (*Multi, error) {
 func MustMulti(dims ...*Polynomial) *Multi {
 	m, err := NewMulti(dims...)
 	if err != nil {
-		panic(err)
+		panic(invariant.Violation("poly: %v", err))
 	}
 	return m
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"sqm/internal/invariant"
 	"sqm/internal/linalg"
 	"sqm/internal/randx"
 )
@@ -60,7 +61,7 @@ func (m *IntMatrix) Col(j int) []int64 {
 // SetCol assigns column j from v.
 func (m *IntMatrix) SetCol(j int, v []int64) {
 	if len(v) != m.Rows {
-		panic("quant: SetCol length mismatch")
+		panic(invariant.Violation("quant: SetCol length mismatch"))
 	}
 	for i := range v {
 		m.Set(i, j, v[i])

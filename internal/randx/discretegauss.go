@@ -1,6 +1,10 @@
 package randx
 
-import "math"
+import (
+	"math"
+
+	"sqm/internal/invariant"
+)
 
 // This file implements exact sampling from the discrete Laplace and
 // discrete Gaussian distributions (Canonne–Kamath–Steinke, "The
@@ -15,7 +19,7 @@ import "math"
 // CKS decomposition into factors with parameters in [0, 1].
 func (g *RNG) bernoulliExp(gamma float64) bool {
 	if gamma < 0 {
-		panic("randx: bernoulliExp needs gamma >= 0")
+		panic(invariant.Violation("randx: bernoulliExp needs gamma >= 0"))
 	}
 	for gamma > 1 {
 		if !g.bernoulliExpUnit(1) {
@@ -44,7 +48,7 @@ func (g *RNG) bernoulliExpUnit(gamma float64) bool {
 // (parameter t > 0), exactly.
 func (g *RNG) DiscreteLaplace(t float64) int64 {
 	if t <= 0 || math.IsNaN(t) {
-		panic("randx: DiscreteLaplace scale must be positive")
+		panic(invariant.Violation("randx: DiscreteLaplace scale must be positive"))
 	}
 	for {
 		// Sample magnitude from the geometric tail.
@@ -77,7 +81,7 @@ func (g *RNG) DiscreteLaplace(t float64) int64 {
 // question why they need discrete noise that wide.
 func (g *RNG) DiscreteGaussian(sigma float64) int64 {
 	if sigma <= 0 || math.IsNaN(sigma) {
-		panic("randx: DiscreteGaussian sigma must be positive")
+		panic(invariant.Violation("randx: DiscreteGaussian sigma must be positive"))
 	}
 	s2 := sigma * sigma
 	t := math.Floor(sigma) + 1

@@ -11,6 +11,9 @@ import (
 	cryptorand "crypto/rand"
 	"math"
 	"math/rand/v2"
+
+	"sqm/internal/invariant"
+	"sqm/internal/mathx"
 )
 
 // PoissonExactMax is the largest mean for which Poisson (and hence
@@ -103,8 +106,8 @@ func (g *RNG) GaussianVec(n int, std float64) []float64 {
 func (g *RNG) Poisson(mu float64) int64 {
 	switch {
 	case mu < 0 || math.IsNaN(mu):
-		panic("randx: Poisson mean must be non-negative")
-	case mu == 0:
+		panic(invariant.Violation("randx: Poisson mean must be non-negative"))
+	case mathx.EqualWithin(mu, 0, 0):
 		return 0
 	case mu < 30:
 		return g.poissonInversion(mu)
@@ -130,7 +133,7 @@ func (g *RNG) poissonInversion(mu float64) int64 {
 		k++
 		p *= mu / float64(k)
 		cum += p
-		if p == 0 {
+		if mathx.EqualWithin(p, 0, 0) {
 			// Floating underflow in the far tail; the residual
 			// probability mass here is < 1e-300.
 			break
@@ -174,8 +177,8 @@ func (g *RNG) poissonPTRS(mu float64) int64 {
 func (g *RNG) Skellam(mu float64) int64 {
 	switch {
 	case mu < 0 || math.IsNaN(mu):
-		panic("randx: Skellam parameter must be non-negative")
-	case mu == 0:
+		panic(invariant.Violation("randx: Skellam parameter must be non-negative"))
+	case mathx.EqualWithin(mu, 0, 0):
 		return 0
 	case mu <= PoissonExactMax:
 		return g.Poisson(mu) - g.Poisson(mu)

@@ -7,9 +7,8 @@
 package shamir
 
 import (
-	"fmt"
-
 	"sqm/internal/field"
+	"sqm/internal/invariant"
 	"sqm/internal/randx"
 )
 
@@ -18,7 +17,7 @@ import (
 // evaluation of the random polynomial at x = i+1.
 func Share(secret field.Elem, t, n int, rng *randx.RNG) []field.Elem {
 	if t < 0 || n <= t {
-		panic(fmt.Sprintf("shamir: invalid threshold t=%d for n=%d", t, n))
+		panic(invariant.Violation("shamir: invalid threshold t=%d for n=%d", t, n))
 	}
 	coefs := make([]field.Elem, t+1)
 	coefs[0] = secret
@@ -77,7 +76,7 @@ func PartyPoints(n int) []field.Elem {
 // caller to pass consistent shares (semi-honest model).
 func Reconstruct(points, shares []field.Elem) field.Elem {
 	if len(points) != len(shares) {
-		panic("shamir: points/shares length mismatch")
+		panic(invariant.Violation("shamir: points/shares length mismatch"))
 	}
 	w := LagrangeAtZero(points)
 	var s field.Elem
@@ -91,7 +90,7 @@ func Reconstruct(points, shares []field.Elem) field.Elem {
 // weights (the hot path in BGW, where the party set never changes).
 func ReconstructWithWeights(weights, shares []field.Elem) field.Elem {
 	if len(weights) != len(shares) {
-		panic("shamir: weights/shares length mismatch")
+		panic(invariant.Violation("shamir: weights/shares length mismatch"))
 	}
 	var s field.Elem
 	for i, sh := range shares {

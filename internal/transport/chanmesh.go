@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"sqm/internal/invariant"
 )
 
 // ChanMesh is the in-memory fast path: each directed pair of parties owns an
@@ -71,7 +73,7 @@ func (q *queue) close() {
 // Pass WithRecorder to meter per-link traffic and send→recv latency.
 func NewChanMesh(p int, opts ...Option) *ChanMesh {
 	if p < 2 {
-		panic(fmt.Sprintf("transport: mesh needs at least 2 parties, got %d", p))
+		panic(invariant.Violation("transport: mesh needs at least 2 parties, got %d", p))
 	}
 	o := applyOptions(opts)
 	m := &ChanMesh{p: p, queues: make([][]*queue, p), conns: make([]*chanConn, p)}

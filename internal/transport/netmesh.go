@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sqm/internal/invariant"
 	"sqm/internal/protocol"
 )
 
@@ -260,7 +261,7 @@ func (c *netConn) Close() error {
 func encodeShareFrame(sender uint32, payload []byte) []byte {
 	var buf writerBuf
 	if err := protocol.WriteMessage(&buf, protocol.Message{Type: protocol.MsgShare, Session: sender, Payload: payload}); err != nil {
-		panic("transport: framing failed: " + err.Error())
+		panic(invariant.Violation("transport: framing failed: %v", err))
 	}
 	return buf
 }

@@ -37,18 +37,25 @@ type runReport struct {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: fig2, fig3, fig4, fig5, table1..table5, all")
-		runs   = flag.Int("runs", 3, "repeats per cell (paper: 20)")
-		full   = flag.Bool("full", false, "paper-scale dataset shapes (slow)")
-		budget = flag.Int64("bgw-budget", 2e8, "max field ops executed by the real BGW engine per timing cell; larger cells are extrapolated and marked '*'")
-		seed   = flag.Uint64("seed", 42, "reproducibility seed")
-		format = flag.String("format", "text", "output format: text, csv or json")
-		report = flag.String("report", "", "also write a JSON run report to this file")
+		exp     = flag.String("exp", "all", "experiment id: fig2, fig3, fig4, fig5, table1..table5, chaos, all")
+		runs    = flag.Int("runs", 3, "repeats per cell (paper: 20)")
+		full    = flag.Bool("full", false, "paper-scale dataset shapes (slow)")
+		budget  = flag.Int64("bgw-budget", 2e8, "max field ops executed by the real BGW engine per timing cell; larger cells are extrapolated and marked '*'")
+		seed    = flag.Uint64("seed", 42, "reproducibility seed")
+		format  = flag.String("format", "text", "output format: text, csv or json")
+		report  = flag.String("report", "", "also write a JSON run report to this file")
+		chaos   = flag.Bool("chaos", false, "run the fault-injection experiment (shorthand for -exp chaos)")
+		timeout = flag.Duration("timeout", 0, "per-receive deadline in the chaos experiment (0: 50ms)")
+		retries = flag.Int("retries", 0, "per-peer receive attempt budget in the chaos experiment (0: 3)")
 	)
 	flag.Parse()
 
+	if *chaos {
+		*exp = "chaos"
+	}
 	start := time.Now()
-	o := bench.Options{Runs: *runs, Full: *full, RealBGWBudget: *budget, Seed: *seed}
+	o := bench.Options{Runs: *runs, Full: *full, RealBGWBudget: *budget, Seed: *seed,
+		RecvTimeout: *timeout, Retries: *retries}
 	tables, err := bench.ByID(*exp, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Table is a printable experiment result.
@@ -99,6 +100,12 @@ type Options struct {
 	TinyLR bool
 	// Seed makes every experiment reproducible.
 	Seed uint64
+	// RecvTimeout bounds each chaos-mesh receive attempt in the chaos
+	// experiment (0: 50ms).
+	RecvTimeout time.Duration
+	// Retries is the chaos aggregator's per-peer receive attempt budget
+	// (0: 3).
+	Retries int
 }
 
 // Defaults fills the zero values.
@@ -111,6 +118,12 @@ func (o Options) Defaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.RecvTimeout == 0 {
+		o.RecvTimeout = 50 * time.Millisecond
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
 	}
 	return o
 }
@@ -150,6 +163,8 @@ func ByID(id string, o Options) ([]*Table, error) {
 		return Ablations(o), nil
 	case "profile":
 		return []*Table{Profile(o)}, nil
+	case "chaos":
+		return []*Table{Chaos(o)}, nil
 	case "all":
 		return All(o), nil
 	default:

@@ -1,0 +1,228 @@
+// chaos.go — the fault-tolerance experiment: dropout-tolerant secure
+// aggregation sessions driven over a deterministic chaos mesh, one row
+// per fault profile. Not a figure of the paper; this table guards the
+// robustness layer (deadlines, retry budgets, dropout recovery) the way
+// the paper tables guard utility and timing.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sqm/internal/obs"
+	"sqm/internal/protocol"
+	"sqm/internal/secagg"
+	"sqm/internal/transport"
+)
+
+// The chaos cohort mirrors the acceptance scenario: P = 5 clients with
+// recovery threshold t = ⌊(P−1)/2⌋ = 2, so any 3 survivors keep a round
+// alive and a third mid-session death loses the quorum.
+const (
+	chaosParties = 5
+	chaosThresh  = 2
+	chaosRounds  = 3
+	chaosDim     = 4
+)
+
+// chaosProfile is one row of the chaos table: a fault injection shape
+// plus the clients scripted to die at round 1 ("crash" tears the
+// transport down, "mute" stalls silently).
+type chaosProfile struct {
+	name   string
+	fault  func(seed uint64) transport.FaultProfile
+	deaths map[int]string
+}
+
+func chaosProfiles() []chaosProfile {
+	plain := func(seed uint64) transport.FaultProfile {
+		return transport.FaultProfile{Seed: seed}
+	}
+	return []chaosProfile{
+		{name: "none", fault: plain},
+		{name: "delay-1ms", fault: func(seed uint64) transport.FaultProfile {
+			return transport.FaultProfile{Seed: seed, All: transport.LinkFault{Delay: time.Millisecond}}
+		}},
+		{name: "drop-link-50%", fault: func(seed uint64) transport.FaultProfile {
+			// Half of client 1's contributions vanish in flight; the
+			// aggregator must burn its retry budget and degrade.
+			return transport.FaultProfile{Seed: seed, Links: map[[2]int]transport.LinkFault{
+				{1, 0}: {DropProb: 0.5},
+			}}
+		}},
+		{name: "crash-1", fault: plain, deaths: map[int]string{1: "crash"}},
+		{name: "crash-2", fault: plain, deaths: map[int]string{1: "crash", 3: "mute"}},
+		{name: "crash-3", fault: plain, deaths: map[int]string{1: "crash", 2: "crash", 3: "mute"}},
+	}
+}
+
+// chaosRun is the outcome of one session under one profile.
+type chaosRun struct {
+	completed bool
+	degraded  bool
+	elapsed   time.Duration
+	timeouts  int64
+	retries   int64
+	giveups   int64
+}
+
+// runChaosSession drives one 3-round dropout-tolerant session over a
+// fresh fault mesh and reports what the fault-tolerance layers did.
+func runChaosSession(seed uint64, prof chaosProfile, recvTimeout time.Duration, retryBudget int) (chaosRun, error) {
+	g, err := secagg.NewTolerantGroup(chaosParties, chaosDim, chaosThresh, seed)
+	if err != nil {
+		return chaosRun{}, err
+	}
+	rec := obs.NewLog(io.Discard, "text", obs.LevelWarn)
+	fm := transport.NewFaultMesh(
+		transport.NewChanMesh(chaosParties, transport.WithRecorder(rec)),
+		prof.fault(seed))
+	defer fm.Close()
+
+	values := make([][]int64, chaosParties)
+	for j := range values {
+		values[j] = make([]int64, chaosDim)
+		for k := range values[j] {
+			values[j][k] = int64(100*j + k + 1)
+		}
+	}
+
+	var mu sync.Mutex
+	reports := map[uint32]*secagg.DropoutReport{}
+	hooks := make([]protocol.ClientHooks, chaosParties)
+	for i := 0; i < chaosParties; i++ {
+		i := i
+		hooks[i] = protocol.ClientHooks{
+			OnParams: func(protocol.Params) ([]byte, error) { return []byte{byte(i)}, nil },
+		}
+		if i == 0 {
+			hooks[i].OnEvalRequest = func(round uint32) error {
+				report, err := g.CollectDropout(fm.Conn(0), uint64(round), values[0], secagg.CollectOptions{
+					Timeout:  recvTimeout,
+					Retries:  retryBudget,
+					Recorder: rec,
+					Seed:     seed,
+				})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				reports[round] = report
+				mu.Unlock()
+				return nil
+			}
+			continue
+		}
+		hooks[i].OnEvalRequest = func(round uint32) error {
+			if kind, dead := prof.deaths[i]; dead && round >= 1 {
+				if kind == "crash" {
+					fm.Crash(i)
+				}
+				return errors.New("chaos: scripted death")
+			}
+			return g.Contribute(fm.Conn(i), uint64(round), values[i])
+		}
+	}
+	evaluate := func(round uint32) ([]int64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		r, ok := reports[round]
+		if !ok {
+			return nil, errors.New("chaos: no aggregate collected for round")
+		}
+		return r.Totals, nil
+	}
+
+	params := protocol.Params{Gamma: 8, Mu: 1, NumClients: chaosParties, OutDim: chaosDim, Rounds: chaosRounds, Seed: seed}
+	start := time.Now()
+	outcomes, err := protocol.RunSession(params, hooks, evaluate,
+		protocol.WithRecorder(rec),
+		protocol.WithTimeout(time.Second),
+		protocol.WithDropoutTolerance(chaosThresh),
+	)
+	run := chaosRun{elapsed: time.Since(start)}
+	m := rec.Metrics()
+	run.timeouts = m.Counter("transport.chan.recv.timeouts").Value()
+	run.retries = m.Counter("secagg.collect.retries").Value()
+	run.giveups = m.Counter("secagg.collect.giveups").Value()
+	if err != nil {
+		if errors.Is(err, protocol.ErrQuorumLoss) || errors.Is(err, secagg.ErrQuorumLoss) {
+			return run, nil // an expected failure shape, not a harness bug
+		}
+		return run, err
+	}
+	run.completed = true
+	run.degraded = m.Counter("session.dropouts").Value() > 0
+	mu.Lock()
+	for _, r := range reports {
+		if len(r.Dropped) > 0 {
+			run.degraded = true
+		}
+	}
+	mu.Unlock()
+	for _, o := range outcomes {
+		if o.Dropped {
+			run.degraded = true
+		}
+	}
+	return run, nil
+}
+
+// Chaos measures session survival under deterministic fault injection:
+// per profile, how many sessions complete, how many complete degraded
+// (dropout recovery engaged), the end-to-end latency, and the recv
+// timeout / retry telemetry the detection layers emitted.
+func Chaos(o Options) *Table {
+	o = o.Defaults()
+	t := &Table{
+		ID:     "chaos",
+		Title:  fmt.Sprintf("fault-tolerant sessions, P=%d t=%d, %d rounds", chaosParties, chaosThresh, chaosRounds),
+		Header: []string{"profile", "sessions", "ok", "degraded", "failed", "completion", "avg ms", "recv timeouts", "retries", "giveups"},
+	}
+	for _, prof := range chaosProfiles() {
+		var ok, degraded int
+		var elapsed time.Duration
+		var timeouts, retries, giveups int64
+		for run := 0; run < o.Runs; run++ {
+			r, err := runChaosSession(o.Seed+uint64(run)*0x9e37, prof, o.RecvTimeout, o.Retries)
+			if err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s run %d: %v", prof.name, run, err))
+				continue
+			}
+			if r.completed {
+				ok++
+				elapsed += r.elapsed
+			}
+			if r.degraded {
+				degraded++
+			}
+			timeouts += r.timeouts
+			retries += r.retries
+			giveups += r.giveups
+		}
+		avgMS := "-"
+		if ok > 0 {
+			avgMS = fmt.Sprintf("%.1f", float64(elapsed.Milliseconds())/float64(ok))
+		}
+		t.Rows = append(t.Rows, []string{
+			prof.name,
+			fmt.Sprintf("%d", o.Runs),
+			fmt.Sprintf("%d", ok),
+			fmt.Sprintf("%d", degraded),
+			fmt.Sprintf("%d", o.Runs-ok),
+			fmt.Sprintf("%.0f%%", 100*float64(ok)/float64(o.Runs)),
+			avgMS,
+			fmt.Sprintf("%d", timeouts),
+			fmt.Sprintf("%d", retries),
+			fmt.Sprintf("%d", giveups),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"deaths fire at round 1: crash tears the transport down, mute stalls silently",
+		fmt.Sprintf("quorum is t+1 = %d survivors; crash-3 is expected to fail every session", chaosThresh+1),
+	)
+	return t
+}

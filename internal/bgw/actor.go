@@ -95,6 +95,9 @@ func NewActorEngine(cfg Config, mesh transport.Mesh) (*ActorEngine, error) {
 	if lat == 0 {
 		lat = DefaultLatency
 	}
+	if cfg.RecvTimeout > 0 {
+		mesh.SetRecvTimeout(cfg.RecvTimeout)
+	}
 	e := &ActorEngine{p: cfg.Parties, t: t, latency: lat, mesh: mesh}
 	if rec := cfg.Recorder; rec != nil && rec.Metrics() != nil {
 		e.rec = rec

@@ -38,6 +38,11 @@ type Config struct {
 	Latency   time.Duration // per communication round; 0 means DefaultLatency
 	Seed      uint64        // seeds the per-party private randomness
 	Recorder  obs.Recorder  // telemetry sink; nil disables at zero cost
+	// RecvTimeout bounds every blocking receive of the actor engine's
+	// parties: a peer that stays silent past the deadline surfaces as a
+	// transport.ErrTimeout party failure instead of a hung protocol.
+	// 0 keeps receives blocking (the trusted-simulation default).
+	RecvTimeout time.Duration
 }
 
 // Stats meters the protocol execution.

@@ -1,0 +1,65 @@
+package bgw
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sqm/internal/transport"
+)
+
+// TestActorRecvTimeoutSurfacesAsPartyFailure: with Config.RecvTimeout
+// set, a silently lossy link fails the starved party with a typed
+// transport.ErrTimeout instead of hanging the protocol forever.
+func TestActorRecvTimeoutSurfacesAsPartyFailure(t *testing.T) {
+	// Link 0→1 drops every message: party 1 starves waiting for party
+	// 0's input share while 0's send succeeds, the silent-loss shape a
+	// deadline exists to catch.
+	mesh := transport.NewFaultMesh(transport.NewChanMesh(3), transport.FaultProfile{
+		Seed:  1,
+		Links: map[[2]int]transport.LinkFault{{0, 1}: {DropProb: 1}},
+	})
+	eng, err := NewActorEngine(Config{
+		Parties:     3,
+		Latency:     time.Nanosecond,
+		Seed:        7,
+		RecvTimeout: 50 * time.Millisecond,
+	}, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	done := make(chan int64, 1)
+	go func() { done <- eng.Open(eng.Input(0, 42)) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("protocol hung despite RecvTimeout")
+	}
+	if err := eng.Err(); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("engine error = %v, want errors.Is(err, transport.ErrTimeout)", err)
+	}
+}
+
+// TestActorRecvTimeoutHarmlessWhenHealthy: a generous deadline on a
+// healthy mesh changes nothing.
+func TestActorRecvTimeoutHarmlessWhenHealthy(t *testing.T) {
+	mesh := transport.NewChanMesh(3)
+	eng, err := NewActorEngine(Config{
+		Parties:     3,
+		Latency:     time.Nanosecond,
+		Seed:        7,
+		RecvTimeout: 5 * time.Second,
+	}, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := eng.Open(eng.Mul(eng.Input(0, 6), eng.Input(1, 7))); got != 42 {
+		t.Fatalf("Open = %d, want 42", got)
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,19 +31,21 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		data   = fs.String("data", "", "input CSV file (required)")
-		header = fs.Bool("header", false, "first CSV row is a header")
-		label  = fs.String("label", "", "label column name/index (lr, ridge)")
-		out    = fs.String("out", "", "output CSV file (default stdout)")
-		eps    = fs.Float64("eps", 1, "privacy budget epsilon")
-		delta  = fs.Float64("delta", 1e-5, "privacy parameter delta")
-		gamma  = fs.Float64("gamma", 4096, "SQM scaling parameter")
-		k      = fs.Int("k", 5, "principal components (pca)")
-		epochs = fs.Int("epochs", 5, "training epochs (lr)")
-		q      = fs.Float64("q", 0.01, "Poisson sampling rate (lr)")
-		seed   = fs.Uint64("seed", 1, "reproducibility seed")
-		engine = fs.String("engine", "plain", "evaluation backend: plain, bgw, actor, actor-net")
-		nparty = fs.Int("parties", 0, "MPC party count (engines other than plain)")
+		data    = fs.String("data", "", "input CSV file (required)")
+		header  = fs.Bool("header", false, "first CSV row is a header")
+		label   = fs.String("label", "", "label column name/index (lr, ridge)")
+		out     = fs.String("out", "", "output CSV file (default stdout)")
+		eps     = fs.Float64("eps", 1, "privacy budget epsilon")
+		delta   = fs.Float64("delta", 1e-5, "privacy parameter delta")
+		gamma   = fs.Float64("gamma", 4096, "SQM scaling parameter")
+		k       = fs.Int("k", 5, "principal components (pca)")
+		epochs  = fs.Int("epochs", 5, "training epochs (lr)")
+		q       = fs.Float64("q", 0.01, "Poisson sampling rate (lr)")
+		seed    = fs.Uint64("seed", 1, "reproducibility seed")
+		engine  = fs.String("engine", "plain", "evaluation backend: plain, bgw, actor, actor-net")
+		nparty  = fs.Int("parties", 0, "MPC party count (engines other than plain)")
+		timeout = fs.Duration("timeout", 0, "per-receive deadline for MPC transports (0 blocks forever)")
+		retries = fs.Int("retries", 1, "attempt budget for transient transport setup failures (TCP dials)")
 
 		verbose   = fs.Bool("v", false, "debug-level telemetry on stderr (implies -log-format text)")
 		logFormat = fs.String("log-format", "", "structured telemetry on stderr: text or json")
@@ -86,6 +88,13 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", *timeout)
+	}
+	if *retries < 1 {
+		return fmt.Errorf("-retries must be at least 1, got %d", *retries)
+	}
+	fault := core.FaultConfig{RecvTimeout: *timeout, DialRetries: *retries}
 	if kind.IsMPC() && *nparty == 0 {
 		*nparty = 3
 	}
@@ -134,7 +143,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 	case "pca":
 		r, err := pca.SQM(loaded.X, pca.Config{
 			K: *k, Eps: *eps, Delta: *delta, C: 1, Gamma: *gamma, Seed: *seed,
-			Engine: kind, Parties: *nparty, Recorder: rec,
+			Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
 		})
 		if err != nil {
 			return err
@@ -151,7 +160,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cov, _, err := core.Covariance(loaded.X, core.Params{
-			Gamma: *gamma, Mu: mu, Seed: *seed, Engine: kind, Parties: *nparty, Recorder: rec,
+			Gamma: *gamma, Mu: mu, Seed: *seed, Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
 		})
 		if err != nil {
 			return err
@@ -169,7 +178,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		cfg := logreg.Config{
 			Eps: *eps, Delta: *delta, Gamma: *gamma,
 			Epochs: *epochs, SampleRate: *q, Seed: *seed,
-			Engine: kind, Parties: *nparty, Recorder: rec,
+			Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
 		}
 		m, err := logreg.TrainSQM(loaded.X, loaded.Labels, cfg)
 		if err != nil {
@@ -197,7 +206,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		}
 		m, err := linreg.SQM(loaded.X, loaded.Labels, linreg.Config{
 			Eps: *eps, Delta: *delta, C: 1, B: 1, Gamma: *gamma, Seed: *seed,
-			Engine: kind, Parties: *nparty, Recorder: rec,
+			Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
 		})
 		if err != nil {
 			return err

@@ -34,6 +34,7 @@ import (
 	"sqm/internal/field"
 	"sqm/internal/obs"
 	"sqm/internal/randx"
+	"sqm/internal/retry"
 	"sqm/internal/transport"
 )
 
@@ -105,6 +106,23 @@ type Params struct {
 	Latency    time.Duration // per-round message latency; 0 means 100 ms
 	Seed       uint64        // reproducibility seed
 	Recorder   obs.Recorder  // telemetry sink for engine and mesh; nil disables
+	Fault      FaultConfig   // fault-tolerance knobs (zero value: fail-stop off)
+}
+
+// FaultConfig bundles the fault-tolerance knobs the CLIs thread down to
+// the engines and meshes. The zero value preserves the trusting
+// defaults: blocking receives, single dial attempts.
+type FaultConfig struct {
+	// RecvTimeout bounds every party-to-party receive of the actor
+	// engines; a silent peer surfaces as transport.ErrTimeout instead of
+	// a hang. 0 keeps receives blocking.
+	RecvTimeout time.Duration
+	// DialRetries is the attempt budget for the TCP mesh's pair dials
+	// (EngineActorBGWNet); values below 1 mean a single attempt.
+	DialRetries int
+	// DialBackoff is the base backoff between dial attempts (doubled per
+	// retry, seeded jitter); 0 means the retry package default.
+	DialBackoff time.Duration
 }
 
 func (p *Params) normalize(cols int) error {
@@ -157,7 +175,10 @@ func (p *Params) partyOf(client int) int {
 // stream, as before the backends became pluggable. The caller owns the
 // evaluator and must Close it.
 func (p *Params) newEvaluator(seedXor uint64) (bgw.Evaluator, error) {
-	cfg := bgw.Config{Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency, Seed: p.Seed ^ seedXor, Recorder: p.Recorder}
+	cfg := bgw.Config{
+		Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency,
+		Seed: p.Seed ^ seedXor, Recorder: p.Recorder, RecvTimeout: p.Fault.RecvTimeout,
+	}
 	switch p.Engine {
 	case EngineBGW:
 		eng, err := bgw.NewEngine(cfg)
@@ -168,7 +189,16 @@ func (p *Params) newEvaluator(seedXor uint64) (bgw.Evaluator, error) {
 	case EngineActorBGW:
 		return bgw.NewActorEngine(cfg, transport.NewChanMesh(cfg.Parties, transport.WithRecorder(p.Recorder)))
 	case EngineActorBGWNet:
-		mesh, err := transport.NewTCPMesh(cfg.Parties, transport.WithRecorder(p.Recorder))
+		mesh, err := transport.NewTCPMesh(cfg.Parties,
+			transport.WithRecorder(p.Recorder),
+			transport.WithDialRetry(retry.Policy{
+				Attempts: p.Fault.DialRetries,
+				Base:     p.Fault.DialBackoff,
+				Jitter:   0.5,
+				Seed:     p.Seed ^ 0xd1a1,
+				Recorder: p.Recorder,
+				Name:     "core.dial",
+			}))
 		if err != nil {
 			return nil, err
 		}

@@ -41,6 +41,9 @@ type Config struct {
 
 	Engine  core.EngineKind
 	Parties int
+	// Fault carries the fault-tolerance knobs (receive deadlines, dial
+	// retries) down to the engine and mesh.
+	Fault core.FaultConfig
 
 	// Recorder is an optional telemetry sink threaded through to the
 	// MPC engine and transport (nil disables).
@@ -177,6 +180,7 @@ func SQM(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		Parties:  cfg.Parties,
 		Seed:     cfg.Seed,
 		Recorder: cfg.Recorder,
+		Fault:    cfg.Fault,
 	})
 	if err != nil {
 		return nil, err

@@ -146,6 +146,21 @@ func TestFloatEqFixture(t *testing.T) {
 	fixtureCase(t, "floateq", "fixture/floateq", "floateq", 1)
 }
 
+func TestBlockingRecvFixture(t *testing.T) {
+	fixtureCase(t, "blockingrecv", "fixture/blockingrecv", "blockingrecv", 1)
+}
+
+func TestBlockingRecvArmedPackageIsSilent(t *testing.T) {
+	// One SetRecvTimeout call anywhere marks the package deadline-aware:
+	// its receives must produce no blockingrecv findings at all.
+	_, res := loadFixture(t, "blockingrecvarmed", "fixture/blockingrecvarmed")
+	for _, d := range append(res.Diagnostics, res.Suppressed...) {
+		if d.Check == "blockingrecv" {
+			t.Errorf("blockingrecv fired in a deadline-aware package: %s", d)
+		}
+	}
+}
+
 func TestPanicPolicyFixture(t *testing.T) {
 	fixtureCase(t, "panicpolicy", "fixture/panicpolicy", "panicpolicy", 1)
 }

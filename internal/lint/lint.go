@@ -98,6 +98,7 @@ type Analyzer struct {
 func All() []*Analyzer {
 	as := []*Analyzer{
 		AnalyzerRandDet,
+		AnalyzerBlockingRecv,
 		AnalyzerFieldOps,
 		AnalyzerSecretLeak,
 		AnalyzerFloatEq,

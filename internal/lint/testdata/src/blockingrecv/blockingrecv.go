@@ -1,0 +1,37 @@
+// Package blockingrecvfixture exercises the blockingrecv analyzer: a
+// package that consumes PartyConn.Recv without ever arming
+// SetRecvTimeout waits unboundedly on remote parties and must be
+// flagged. Note no function in this package calls SetRecvTimeout —
+// one call anywhere would mark the whole package deadline-aware (see
+// the blockingrecvarmed fixture).
+package blockingrecvfixture
+
+import "sqm/internal/transport"
+
+// Bad receives with no deadline in scope anywhere in the package.
+func Bad(conn transport.PartyConn) ([]byte, error) {
+	return conn.Recv(0) // want "blocking PartyConn.Recv in a package that never arms SetRecvTimeout"
+}
+
+// BadLoop shows the classic hang shape: a gather loop over peers.
+func BadLoop(conn transport.PartyConn, n int) error {
+	for from := 1; from < n; from++ {
+		if _, err := conn.Recv(from); err != nil { // want "blocking PartyConn.Recv"
+			return err
+		}
+	}
+	return nil
+}
+
+// Suppressed is a reviewed escape hatch: this caller is known to run
+// only against the in-memory mesh of a single-process simulation.
+func Suppressed(conn transport.PartyConn) ([]byte, error) {
+	//lint:ignore blockingrecv trusted single-process simulation; peers cannot die independently
+	return conn.Recv(0)
+}
+
+// Good does not receive at all; sends never block on a dead peer's
+// liveness (the writer pump owns them).
+func Good(conn transport.PartyConn) error {
+	return conn.Send(0, []byte{1})
+}

@@ -1,0 +1,28 @@
+// Package blockingrecvarmed is the deadline-aware counterpart of the
+// blockingrecv fixture: the package arms SetRecvTimeout, so its
+// receives are bounded by policy and the analyzer must stay silent —
+// including for Recv calls in other functions of the package, which is
+// exactly how the real engine splits configuration (actor setup) from
+// consumption (party loops).
+package blockingrecvarmed
+
+import (
+	"time"
+
+	"sqm/internal/transport"
+)
+
+// Arm applies the deadline policy for the whole package.
+func Arm(mesh transport.Mesh, d time.Duration) {
+	mesh.SetRecvTimeout(d)
+}
+
+// Gather receives under whatever deadline Arm configured.
+func Gather(conn transport.PartyConn, n int) error {
+	for from := 1; from < n; from++ {
+		if _, err := conn.Recv(from); err != nil {
+			return err
+		}
+	}
+	return nil
+}

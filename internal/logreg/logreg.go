@@ -42,6 +42,9 @@ type Config struct {
 	// Engine/Parties select the SQM backend (plain by default).
 	Engine  core.EngineKind
 	Parties int
+	// Fault carries the fault-tolerance knobs (receive deadlines, dial
+	// retries) down to the engine and mesh.
+	Fault core.FaultConfig
 
 	// Recorder is an optional telemetry sink threaded through to the
 	// MPC engine and transport (nil disables).
@@ -233,6 +236,7 @@ func TrainSQM(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		Parties:  cfg.Parties,
 		Seed:     cfg.Seed,
 		Recorder: cfg.Recorder,
+		Fault:    cfg.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -289,6 +293,7 @@ func TrainSQMOrder3(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		Parties:  cfg.Parties,
 		Seed:     cfg.Seed,
 		Recorder: cfg.Recorder,
+		Fault:    cfg.Fault,
 	}, 0)
 	if err != nil {
 		return nil, err

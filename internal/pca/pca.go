@@ -46,6 +46,9 @@ type Config struct {
 	Engine core.EngineKind
 	// Parties is the BGW party count when Engine is EngineBGW.
 	Parties int
+	// Fault carries the fault-tolerance knobs (receive deadlines, dial
+	// retries) down to the engine and mesh.
+	Fault core.FaultConfig
 	// ProjectPSD clamps the noisy covariance's negative eigenvalues to
 	// zero before the subspace extraction — free post-processing that
 	// can help at small ε. Small-n (Jacobi) path only.
@@ -171,6 +174,7 @@ func SQM(x *linalg.Matrix, cfg Config) (*Result, error) {
 		Parties:    cfg.Parties,
 		Seed:       cfg.Seed,
 		Recorder:   cfg.Recorder,
+		Fault:      cfg.Fault,
 	})
 	if err != nil {
 		return nil, err

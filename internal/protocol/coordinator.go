@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +10,19 @@ import (
 
 	"sqm/internal/obs"
 )
+
+// ErrQuorumLoss reports that more clients failed mid-session than the
+// configured dropout tolerance allows: the coordinator cannot complete
+// the session from the survivors and must abandon it. Returned (wrapped)
+// by RunSession / RunSessionTCP; callers test errors.Is(err, ErrQuorumLoss)
+// to tell an unrecoverable cohort collapse from an ordinary protocol
+// error.
+var ErrQuorumLoss = errors.New("protocol: dropout tolerance exhausted, session quorum lost")
+
+// abortTimeout bounds how long the coordinator waits for best-effort
+// abort notifications to dead or wedged peers before tearing the
+// connections down anyway. A variable so tests can shorten the bound.
+var abortTimeout = 2 * time.Second
 
 // ClientHooks is the work a participating client performs at each
 // lifecycle step (quantization/noise at commit, its protocol share of
@@ -27,6 +41,10 @@ type SessionOutcome struct {
 	Results    []Result
 	Err        error
 	Commitment [32]byte
+	// Dropped marks a client the coordinator excluded mid-session under
+	// WithDropoutTolerance: its link died or its deadline expired, the
+	// session completed without it.
+	Dropped bool
 }
 
 // RunSession executes a complete SQM session lifecycle over in-memory
@@ -108,23 +126,138 @@ func validateSession(p Params, n int) error {
 	return nil
 }
 
+// deadlineConn imposes a fresh I/O deadline on every read and write, so
+// a single silent peer bounds one operation instead of the whole
+// session. Both net.Pipe and TCP connections implement the deadline
+// methods.
+type deadlineConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c deadlineConn) Read(p []byte) (int, error) {
+	_ = c.Conn.SetReadDeadline(time.Now().Add(c.d))
+	return c.Conn.Read(p)
+}
+
+func (c deadlineConn) Write(p []byte) (int, error) {
+	_ = c.Conn.SetWriteDeadline(time.Now().Add(c.d))
+	return c.Conn.Write(p)
+}
+
+// sessionRun is the coordinator's mutable view of one running session:
+// which clients are still live, how many more it may lose, and where to
+// report the losses.
+type sessionRun struct {
+	servers  []*ServerSession
+	srvConns []net.Conn
+	outcomes []SessionOutcome
+	live     []bool
+	nLive    int
+	tolerant bool
+	budget   int // dropouts still affordable
+	dropped  int
+	so       *sessionObs
+	onDrop   func(client int, err error)
+}
+
+// forAllLive runs op against every live server session concurrently
+// (net.Pipe is synchronous, so sequential execution would deadlock
+// against clients that are mid-write). Without dropout tolerance every
+// per-session error is collected and joined, so a multi-client failure
+// reports every broken session, not just the first. With tolerance,
+// failed sessions are dropped from the cohort while the budget lasts —
+// the session degrades instead of dying — and only a failure beyond the
+// budget is fatal, wrapped to match ErrQuorumLoss.
+func (r *sessionRun) forAllLive(op func(*ServerSession) error) error {
+	errs := make([]error, len(r.servers))
+	var wg sync.WaitGroup
+	for i, s := range r.servers {
+		if !r.live[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *ServerSession) {
+			defer wg.Done()
+			if err := op(s); err != nil {
+				errs[i] = fmt.Errorf("session %d: %w", s.ID, err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	var fatal []error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if r.tolerant && r.budget > 0 {
+			r.budget--
+			r.drop(i, err)
+			continue
+		}
+		fatal = append(fatal, err)
+	}
+	if len(fatal) == 0 {
+		return nil
+	}
+	if r.tolerant {
+		return fmt.Errorf("%w (%d dropped earlier, %d tolerated): %w",
+			ErrQuorumLoss, r.dropped, r.dropped+r.budget, errors.Join(fatal...))
+	}
+	return errors.Join(fatal...)
+}
+
+// drop excludes client i from the rest of the session: its connection
+// is closed (unblocking both ends), its outcome is marked Dropped, and
+// the degradation is reported through telemetry and the onDrop hook.
+func (r *sessionRun) drop(i int, cause error) {
+	r.live[i] = false
+	r.nLive--
+	r.dropped++
+	r.outcomes[i].Dropped = true
+	_ = r.srvConns[i].Close()
+	r.so.event(obs.LevelWarn, "session.degraded",
+		obs.Int("client", i), obs.Int("live", r.nLive),
+		obs.Int("dropped", r.dropped), obs.String("err", cause.Error()))
+	if r.so != nil {
+		r.so.dropouts.Add(1)
+	}
+	if r.onDrop != nil {
+		r.onDrop(i, cause)
+	}
+}
+
 // runSession drives the lifecycle over pre-established connection pairs
 // (cliConns[i] is client i's end, srvConns[i] the coordinator's).
 func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error), cliConns, srvConns []net.Conn, o sessionOptions) ([]SessionOutcome, error) {
 	so := newSessionObs(o.rec)
 	n := len(hooks)
-	outcomes := make([]SessionOutcome, n)
-	servers := make([]*ServerSession, n)
+	r := &sessionRun{
+		servers:  make([]*ServerSession, n),
+		srvConns: srvConns,
+		outcomes: make([]SessionOutcome, n),
+		live:     make([]bool, n),
+		nLive:    n,
+		tolerant: o.maxDropouts > 0,
+		budget:   o.maxDropouts,
+		so:       so,
+		onDrop:   o.onDrop,
+	}
 	var clientWG sync.WaitGroup
 	for i := 0; i < n; i++ {
-		servers[i] = &ServerSession{ID: uint32(i + 1), Transport: srvConns[i]}
+		r.live[i] = true
+		srvT := net.Conn(srvConns[i])
+		if o.timeout > 0 {
+			srvT = deadlineConn{Conn: srvT, d: o.timeout}
+		}
+		r.servers[i] = &ServerSession{ID: uint32(i + 1), Transport: srvT}
 		cs := &ClientSession{
 			ID:            uint32(i + 1),
 			Transport:     cliConns[i],
 			OnParams:      hooks[i].OnParams,
 			OnEvalRequest: hooks[i].OnEvalRequest,
 		}
-		outcomes[i].Client = i
+		r.outcomes[i].Client = i
 		clientWG.Add(1)
 		go func(i int, cs *ClientSession, conn net.Conn) {
 			defer clientWG.Done()
@@ -132,11 +265,26 @@ func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 			// client that bailed out mid-protocol.
 			defer conn.Close()
 			if err := cs.Start(); err != nil {
-				outcomes[i].Err = err
+				r.outcomes[i].Err = err
 				return
 			}
-			outcomes[i].Results, outcomes[i].Err = cs.Serve()
+			r.outcomes[i].Results, r.outcomes[i].Err = cs.Serve()
 		}(i, cs, cliConns[i])
+	}
+
+	// Context cancellation tears down every coordinator-side connection,
+	// which fails the in-flight phase and unwinds the whole session.
+	watchdog := make(chan struct{})
+	if o.ctx != nil {
+		go func() {
+			select {
+			case <-o.ctx.Done():
+				for _, c := range srvConns {
+					c.Close()
+				}
+			case <-watchdog:
+			}
+		}()
 	}
 
 	so.event(obs.LevelInfo, "session.start",
@@ -144,36 +292,36 @@ func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 		obs.Float64("gamma", p.Gamma), obs.Float64("mu", p.Mu))
 	coordErr := func() error {
 		phase := time.Now()
-		if err := forAll(servers, (*ServerSession).AwaitHello); err != nil {
+		if err := r.forAllLive((*ServerSession).AwaitHello); err != nil {
 			return err
 		}
 		if so != nil {
 			so.phaseHist["hello"].ObserveSince(phase)
-			so.event(obs.LevelDebug, "session.hello", obs.Int("clients", n))
+			so.event(obs.LevelDebug, "session.hello", obs.Int("clients", r.nLive))
 			phase = time.Now()
 		}
-		if err := forAll(servers, func(s *ServerSession) error { return s.SendParams(p) }); err != nil {
+		if err := r.forAllLive(func(s *ServerSession) error { return s.SendParams(p) }); err != nil {
 			return err
 		}
 		if so != nil {
 			so.phaseHist["params"].ObserveSince(phase)
-			so.event(obs.LevelDebug, "session.params", obs.Int("clients", n))
+			so.event(obs.LevelDebug, "session.params", obs.Int("clients", r.nLive))
 		}
 		for round := uint32(0); round < p.Rounds; round++ {
 			start := time.Now()
-			if err := forAll(servers, (*ServerSession).RunRound); err != nil {
+			if err := r.forAllLive((*ServerSession).RunRound); err != nil {
 				return err
 			}
 			scaled, err := evaluate(round)
 			if err != nil {
-				abortAll(servers, err.Error())
+				r.abortLive(err.Error())
 				so.event(obs.LevelWarn, "session.abort",
 					obs.Int("round", int(round)), obs.String("err", err.Error()))
 				return err
 			}
 			res := Result{Round: round, Scaled: scaled}
 			final := round == p.Rounds-1
-			if err := forAll(servers, func(s *ServerSession) error { return s.SendResult(res, final) }); err != nil {
+			if err := r.forAllLive(func(s *ServerSession) error { return s.SendResult(res, final) }); err != nil {
 				return err
 			}
 			if so != nil {
@@ -186,6 +334,7 @@ func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 		}
 		return nil
 	}()
+	close(watchdog)
 
 	// Closing the server ends unblocks clients still reading (e.g. when
 	// the coordinator bailed before broadcasting anything).
@@ -193,45 +342,78 @@ func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 		c.Close()
 	}
 	clientWG.Wait()
-	for i, s := range servers {
-		outcomes[i].Commitment = s.Commitment
+	for i, s := range r.servers {
+		r.outcomes[i].Commitment = s.Commitment
+	}
+	if o.ctx != nil && o.ctx.Err() != nil && coordErr != nil {
+		coordErr = errors.Join(coordErr, o.ctx.Err())
 	}
 	if coordErr == nil {
 		so.event(obs.LevelInfo, "session.done",
-			obs.Int("clients", n), obs.Int("rounds", int(p.Rounds)))
+			obs.Int("clients", n), obs.Int("live", r.nLive),
+			obs.Int("dropped", r.dropped), obs.Int("rounds", int(p.Rounds)))
 	}
-	return outcomes, coordErr
+	return r.outcomes, coordErr
 }
 
-// forAll runs op against every server session concurrently (net.Pipe is
-// synchronous, so sequential execution would deadlock against clients
-// that are mid-write). All per-session errors are collected and joined,
-// so a multi-client failure reports every broken session, not just the
-// first.
-func forAll(servers []*ServerSession, op func(*ServerSession) error) error {
-	errs := make([]error, len(servers))
+// abortLive sends a best-effort abort to every live client. A dead or
+// wedged peer cannot stall the coordinator: each Abort runs on its own
+// goroutine and the wait is bounded by abortTimeout — the connections
+// are torn down right after, which unblocks any straggling writer.
+func (r *sessionRun) abortLive(reason string) {
 	var wg sync.WaitGroup
-	for i, s := range servers {
-		wg.Add(1)
-		go func(i int, s *ServerSession) {
-			defer wg.Done()
-			if err := op(s); err != nil {
-				errs[i] = fmt.Errorf("session %d: %w", s.ID, err)
-			}
-		}(i, s)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
-func abortAll(servers []*ServerSession, reason string) {
-	var wg sync.WaitGroup
-	for _, s := range servers {
+	for i, s := range r.servers {
+		if !r.live[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(s *ServerSession) {
 			defer wg.Done()
 			_ = s.Abort(reason)
 		}(s)
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(abortTimeout):
+	}
+}
+
+// WithContext cancels the session when ctx does: every coordinator-side
+// connection is torn down, the in-flight phase fails, and the returned
+// error matches ctx.Err(). A nil ctx is ignored.
+func WithContext(ctx context.Context) SessionOption {
+	return func(o *sessionOptions) { o.ctx = ctx }
+}
+
+// WithTimeout bounds every coordinator-side read and write with a fresh
+// deadline of d, so one silent client costs at most d per operation
+// instead of hanging the session. Combine with WithDropoutTolerance to
+// turn those expiries into dropouts instead of session failures. d <= 0
+// leaves I/O unbounded.
+func WithTimeout(d time.Duration) SessionOption {
+	return func(o *sessionOptions) { o.timeout = d }
+}
+
+// WithDropoutTolerance lets the session survive up to max client
+// failures: a client whose link dies or whose deadline expires is
+// excluded from the remaining phases (its outcome is marked Dropped, a
+// session.degraded event is emitted) and the session completes from the
+// survivors. Failure max+1 aborts with an error matching ErrQuorumLoss.
+// max <= 0 disables tolerance — any failure is fatal, the pre-existing
+// strict behavior.
+func WithDropoutTolerance(max int) SessionOption {
+	return func(o *sessionOptions) { o.maxDropouts = max }
+}
+
+// WithDropoutNotify registers fn to be called (on the coordinator
+// goroutine, before the next phase starts) for every client dropped
+// under WithDropoutTolerance. Evaluate callbacks use it to exclude the
+// dead client's shares from the round's reconstruction.
+func WithDropoutNotify(fn func(client int, err error)) SessionOption {
+	return func(o *sessionOptions) { o.onDrop = fn }
 }

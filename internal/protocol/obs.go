@@ -1,6 +1,9 @@
 package protocol
 
 import (
+	"context"
+	"time"
+
 	"sqm/internal/obs"
 )
 
@@ -8,7 +11,11 @@ import (
 type SessionOption func(*sessionOptions)
 
 type sessionOptions struct {
-	rec obs.Recorder
+	rec         obs.Recorder
+	timeout     time.Duration
+	maxDropouts int
+	onDrop      func(client int, err error)
+	ctx         context.Context
 }
 
 // WithRecorder attaches an observability recorder to the session run:
@@ -33,6 +40,7 @@ func applySessionOptions(opts []SessionOption) sessionOptions {
 type sessionObs struct {
 	rec       obs.Recorder
 	roundHist *obs.Histogram
+	dropouts  *obs.Counter
 	phaseHist map[string]*obs.Histogram
 }
 
@@ -44,6 +52,7 @@ func newSessionObs(rec obs.Recorder) *sessionObs {
 	return &sessionObs{
 		rec:       rec,
 		roundHist: m.Histogram("session.round.seconds"),
+		dropouts:  m.Counter("session.dropouts"),
 		phaseHist: map[string]*obs.Histogram{
 			"hello":  m.Histogram("session.hello.seconds"),
 			"params": m.Histogram("session.params.seconds"),

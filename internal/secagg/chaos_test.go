@@ -1,0 +1,230 @@
+package secagg_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqm/internal/obs"
+	"sqm/internal/protocol"
+	"sqm/internal/secagg"
+	"sqm/internal/transport"
+)
+
+// The acceptance scenario for the fault-tolerance layer: P = 5 clients
+// run a 3-round session over a chaos mesh, ⌊(P−1)/2⌋ = 2 of them die
+// mid-session (one crashing its transport hard, one going silently
+// mute — the two failure shapes dropout detection must distinguish),
+// and the session completes with the correct degraded aggregates. One
+// more death and the same pipeline must fail with the typed quorum
+// error instead of hanging.
+
+const (
+	chaosClients = 5
+	chaosThresh  = 2 // = ⌊(P−1)/2⌋; quorum is t+1 = 3
+	chaosRounds  = 3
+	chaosLength  = 4
+)
+
+type chaosHarness struct {
+	g      *secagg.TolerantGroup
+	fm     *transport.FaultMesh
+	rec    obs.Recorder
+	values [][]int64
+
+	mu      sync.Mutex
+	reports map[uint32]*secagg.DropoutReport
+}
+
+// newChaosHarness wires a tolerant cohort over a fault mesh. deaths
+// maps client → kind ("crash" tears the transport down, "mute" stops
+// contributing silently); both fire at round 1.
+func newChaosHarness(t *testing.T, rec obs.Recorder) *chaosHarness {
+	t.Helper()
+	g, err := secagg.NewTolerantGroup(chaosClients, chaosLength, chaosThresh, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([][]int64, chaosClients)
+	for j := range values {
+		values[j] = make([]int64, chaosLength)
+		for k := range values[j] {
+			values[j][k] = int64(100*j + k + 1)
+		}
+	}
+	return &chaosHarness{
+		g:       g,
+		fm:      transport.NewFaultMesh(transport.NewChanMesh(chaosClients, transport.WithRecorder(rec)), transport.FaultProfile{Seed: 42}),
+		rec:     rec,
+		values:  values,
+		reports: map[uint32]*secagg.DropoutReport{},
+	}
+}
+
+// hooks builds the session hooks. Client 0 aggregates with dropout
+// detection; other clients contribute until their scripted death.
+func (h *chaosHarness) hooks(deaths map[int]string) []protocol.ClientHooks {
+	hooks := make([]protocol.ClientHooks, chaosClients)
+	for i := 0; i < chaosClients; i++ {
+		i := i
+		hooks[i] = protocol.ClientHooks{
+			OnParams: func(protocol.Params) ([]byte, error) { return []byte{byte(i)}, nil },
+		}
+		if i == 0 {
+			hooks[i].OnEvalRequest = func(round uint32) error {
+				report, err := h.g.CollectDropout(h.fm.Conn(0), uint64(round), h.values[0], secagg.CollectOptions{
+					Timeout:  50 * time.Millisecond,
+					Retries:  3,
+					Recorder: h.rec,
+					Seed:     42,
+				})
+				if err != nil {
+					return err
+				}
+				h.mu.Lock()
+				h.reports[round] = report
+				h.mu.Unlock()
+				return nil
+			}
+			continue
+		}
+		hooks[i].OnEvalRequest = func(round uint32) error {
+			if kind, dead := deaths[i]; dead && round >= 1 {
+				if kind == "crash" {
+					h.fm.Crash(i)
+				}
+				return errors.New("client died mid-session")
+			}
+			return h.g.Contribute(h.fm.Conn(i), uint64(round), h.values[i])
+		}
+	}
+	return hooks
+}
+
+func (h *chaosHarness) evaluate(round uint32) ([]int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.reports[round]
+	if !ok {
+		return nil, errors.New("no aggregate collected for round")
+	}
+	return r.Totals, nil
+}
+
+func (h *chaosHarness) wantSum(dead ...int) []int64 {
+	isDead := map[int]bool{}
+	for _, d := range dead {
+		isDead[d] = true
+	}
+	out := make([]int64, chaosLength)
+	for j, vs := range h.values {
+		if isDead[j] {
+			continue
+		}
+		for k, v := range vs {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// TestChaosMinorityDropoutCompletes: 2 of 5 clients die at round 1 —
+// one hard crash, one silent stall — and the session still completes
+// with correct per-round aggregates, with every layer's fault telemetry
+// visible: recv-deadline expiries, retry counters, session.degraded in
+// the JSON log, and session.dropouts == 2.
+func TestChaosMinorityDropoutCompletes(t *testing.T) {
+	var log bytes.Buffer
+	rec := obs.NewLog(&log, "json", obs.LevelDebug)
+	h := newChaosHarness(t, rec)
+	defer h.fm.Close()
+	deaths := map[int]string{1: "crash", 3: "mute"}
+
+	params := protocol.Params{Gamma: 8, Mu: 1, NumClients: chaosClients, OutDim: chaosLength, Rounds: chaosRounds, Seed: 42}
+	outcomes, err := protocol.RunSession(params, h.hooks(deaths), h.evaluate,
+		protocol.WithRecorder(rec),
+		protocol.WithTimeout(time.Second),
+		protocol.WithDropoutTolerance(chaosThresh),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The dead clients were excluded, the survivors finished all rounds.
+	for _, d := range []int{1, 3} {
+		if !outcomes[d].Dropped {
+			t.Fatalf("client %d not marked Dropped: %+v", d, outcomes[d])
+		}
+	}
+	for _, s := range []int{0, 2, 4} {
+		if outcomes[s].Dropped || outcomes[s].Err != nil || len(outcomes[s].Results) != chaosRounds {
+			t.Fatalf("survivor %d: %+v", s, outcomes[s])
+		}
+	}
+
+	// Correctness of the degraded aggregates: full cohort at round 0,
+	// survivors-only at rounds 1 and 2.
+	wantByRound := [][]int64{h.wantSum(), h.wantSum(1, 3), h.wantSum(1, 3)}
+	for r, want := range wantByRound {
+		got := outcomes[0].Results[r].Scaled
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("round %d: scaled[%d] = %d, want %d", r, k, got[k], want[k])
+			}
+		}
+	}
+
+	// Every fault-tolerance layer left its telemetry trail.
+	m := rec.Metrics()
+	if got := m.Counter("session.dropouts").Value(); got != 2 {
+		t.Fatalf("session.dropouts = %d, want 2", got)
+	}
+	if got := m.Counter("transport.chan.recv.timeouts").Value(); got == 0 {
+		t.Fatal("transport.chan.recv.timeouts = 0, want > 0 (the mute client must expire deadlines)")
+	}
+	if got := m.Counter("secagg.collect.retries").Value(); got == 0 {
+		t.Fatal("secagg.collect.retries = 0, want > 0")
+	}
+	if got := m.Counter("secagg.collect.giveups").Value(); got == 0 {
+		t.Fatal("secagg.collect.giveups = 0, want > 0 (the mute client must exhaust its budget)")
+	}
+	if !strings.Contains(log.String(), "session.degraded") {
+		t.Fatal("JSON log missing session.degraded event")
+	}
+	if stats := h.fm.Injected(); stats.Crashes != 1 {
+		t.Fatalf("fault mesh crashes = %d, want 1", stats.Crashes)
+	}
+}
+
+// TestChaosMajorityDropoutQuorumLoss: killing one client more than the
+// threshold must fail the session promptly with the typed quorum-loss
+// error — never a hang, never a silently wrong aggregate.
+func TestChaosMajorityDropoutQuorumLoss(t *testing.T) {
+	rec := obs.NewLog(bytes.NewBuffer(nil), "json", obs.LevelDebug)
+	h := newChaosHarness(t, rec)
+	defer h.fm.Close()
+	deaths := map[int]string{1: "crash", 2: "crash", 3: "mute"}
+
+	params := protocol.Params{Gamma: 8, Mu: 1, NumClients: chaosClients, OutDim: chaosLength, Rounds: chaosRounds, Seed: 42}
+	type res struct{ err error }
+	done := make(chan res, 1)
+	go func() {
+		_, err := protocol.RunSession(params, h.hooks(deaths), h.evaluate,
+			protocol.WithRecorder(rec),
+			protocol.WithTimeout(time.Second),
+			protocol.WithDropoutTolerance(chaosThresh),
+		)
+		done <- res{err}
+	}()
+	select {
+	case r := <-done:
+		if !errors.Is(r.err, protocol.ErrQuorumLoss) {
+			t.Fatalf("err = %v, want errors.Is(err, protocol.ErrQuorumLoss)", r.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("session hung on majority dropout")
+	}
+}

@@ -1,0 +1,221 @@
+package secagg
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"sqm/internal/field"
+	"sqm/internal/obs"
+	"sqm/internal/transport"
+)
+
+// sumAlive computes the expected degraded aggregate: the plain sum over
+// the surviving clients only.
+func sumAlive(values [][]int64, dropped map[int]bool, length int) []int64 {
+	out := make([]int64, length)
+	for j, vs := range values {
+		if dropped[j] {
+			continue
+		}
+		for k, v := range vs {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+func testValues(n, length int) [][]int64 {
+	values := make([][]int64, n)
+	for j := range values {
+		values[j] = make([]int64, length)
+		for k := range values[j] {
+			values[j][k] = int64(10*j + k - 7)
+		}
+	}
+	return values
+}
+
+// TestAggregateDropoutMatchesAliveSum: for every dropout pattern within
+// the budget, recovery yields exactly the survivors' sum.
+func TestAggregateDropoutMatchesAliveSum(t *testing.T) {
+	const n, length, thr = 5, 4, 2
+	values := testValues(n, length)
+	patterns := [][]int{{}, {1}, {4}, {1, 3}, {0, 2}, {2, 4}}
+	for _, pat := range patterns {
+		g, err := NewTolerantGroup(n, length, thr, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dropped := map[int]bool{}
+		for _, d := range pat {
+			dropped[d] = true
+		}
+		masked := make([][]field.Elem, n)
+		for j := 0; j < n; j++ {
+			// Everyone masks (the dropout happens after announcement);
+			// the dead clients' messages just never arrive.
+			m, err := g.Mask(j, 3, values[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dropped[j] {
+				masked[j] = m
+			}
+		}
+		got, err := g.AggregateDropout(3, masked)
+		if err != nil {
+			t.Fatalf("pattern %v: %v", pat, err)
+		}
+		want := sumAlive(values, dropped, length)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("pattern %v: totals[%d] = %d, want %d", pat, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestAggregateDropoutQuorumLoss: one dropout past the budget must fail
+// with the typed quorum error, never a silent wrong answer.
+func TestAggregateDropoutQuorumLoss(t *testing.T) {
+	const n, length, thr = 5, 2, 2
+	g, err := NewTolerantGroup(n, length, thr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := testValues(n, length)
+	masked := make([][]field.Elem, n)
+	// Only clients 0 and 4 survive: 2 alive < t+1 = 3.
+	for _, j := range []int{0, 4} {
+		m, err := g.Mask(j, 0, values[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked[j] = m
+	}
+	if _, err := g.AggregateDropout(0, masked); !errors.Is(err, ErrQuorumLoss) {
+		t.Fatalf("got %v, want ErrQuorumLoss", err)
+	}
+}
+
+// TestTolerantGroupNoDropoutMatchesPlain: with everyone alive the
+// tolerant path and the plain path agree.
+func TestTolerantGroupNoDropoutMatchesPlain(t *testing.T) {
+	const n, length, thr = 4, 3, 1
+	g, err := NewTolerantGroup(n, length, thr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := testValues(n, length)
+	masked := make([][]field.Elem, n)
+	for j := 0; j < n; j++ {
+		m, err := g.Mask(j, 1, values[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked[j] = m
+	}
+	plain, err := g.Aggregate(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tolerant, err := g.AggregateDropout(1, masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range plain {
+		if plain[k] != tolerant[k] {
+			t.Fatalf("totals[%d]: plain %d vs tolerant %d", k, plain[k], tolerant[k])
+		}
+	}
+}
+
+// TestNewTolerantGroupValidatesThreshold rejects unusable thresholds.
+func TestNewTolerantGroupValidatesThreshold(t *testing.T) {
+	for _, bad := range []int{0, -1, 5, 6} {
+		if _, err := NewTolerantGroup(5, 2, bad, 1); err == nil {
+			t.Fatalf("t=%d accepted, want error", bad)
+		}
+	}
+}
+
+// TestCollectDropoutOverMesh: a full mesh round with dead clients —
+// dropout detection via closed links, recovery, retry telemetry.
+func TestCollectDropoutOverMesh(t *testing.T) {
+	const n, length, thr = 5, 3, 2
+	g, err := NewTolerantGroup(n, length, thr, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewLog(io.Discard, "text", obs.LevelInfo)
+	mesh := transport.NewChanMesh(n)
+	defer mesh.Close()
+	values := testValues(n, length)
+	report, err := g.AggregateDropoutOver(mesh, 2, values, []int{1, 3}, CollectOptions{
+		Timeout:  50 * time.Millisecond,
+		Retries:  3,
+		Recorder: rec,
+		Seed:     77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Alive != 3 || len(report.Dropped) != 2 {
+		t.Fatalf("report = %+v, want 3 alive / 2 dropped", report)
+	}
+	want := sumAlive(values, map[int]bool{1: true, 3: true}, length)
+	for k := range want {
+		if report.Totals[k] != want[k] {
+			t.Fatalf("totals[%d] = %d, want %d", k, report.Totals[k], want[k])
+		}
+	}
+	if got := rec.Metrics().Counter("secagg.collect.attempts").Value(); got < int64(n-1) {
+		t.Fatalf("secagg.collect.attempts = %d, want >= %d", got, n-1)
+	}
+}
+
+// TestCollectDropoutSilentStall: a client that neither sends nor closes
+// is declared dropped after the retry budget of timed-out receives.
+func TestCollectDropoutSilentStall(t *testing.T) {
+	const n, length, thr = 3, 2, 1
+	g, err := NewTolerantGroup(n, length, thr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewLog(io.Discard, "text", obs.LevelInfo)
+	mesh := transport.NewChanMesh(n)
+	defer mesh.Close()
+	values := testValues(n, length)
+	// Client 2 contributes; client 1 goes silent without closing.
+	done := make(chan error, 1)
+	go func() { done <- g.Contribute(mesh.Conn(2), 0, values[2]) }()
+	report, err := g.CollectDropout(mesh.Conn(0), 0, values[0], CollectOptions{
+		Timeout:  20 * time.Millisecond,
+		Retries:  2,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := <-done; cerr != nil {
+		t.Fatal(cerr)
+	}
+	if len(report.Dropped) != 1 || report.Dropped[0] != 1 {
+		t.Fatalf("Dropped = %v, want [1]", report.Dropped)
+	}
+	want := sumAlive(values, map[int]bool{1: true}, length)
+	for k := range want {
+		if report.Totals[k] != want[k] {
+			t.Fatalf("totals[%d] = %d, want %d", k, report.Totals[k], want[k])
+		}
+	}
+	// The stalled peer burned the full receive budget.
+	if got := rec.Metrics().Counter("secagg.collect.retries").Value(); got != 1 {
+		t.Fatalf("secagg.collect.retries = %d, want 1", got)
+	}
+	if got := rec.Metrics().Counter("secagg.collect.giveups").Value(); got != 1 {
+		t.Fatalf("secagg.collect.giveups = %d, want 1", got)
+	}
+}

@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sqm/internal/invariant"
 )
@@ -48,10 +50,31 @@ func (q *queue) push(b []byte) error {
 	return nil
 }
 
-func (q *queue) pop() ([]byte, error) {
+func (q *queue) pop() ([]byte, error) { return q.popWait(0) }
+
+// popWait pops the next item, waiting at most d (d <= 0 waits forever).
+// A message that is already queued when the deadline passes is still
+// delivered: timeout only fires on a genuinely empty queue.
+func (q *queue) popWait(d time.Duration) ([]byte, error) {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		// The condition variable has no timed wait; an AfterFunc
+		// broadcast wakes the waiters so the loop can re-check the
+		// clock.
+		t := time.AfterFunc(d, func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		defer t.Stop()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
+		if d > 0 && !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
@@ -98,6 +121,13 @@ func (m *ChanMesh) Parties() int { return m.p }
 // Conn returns party i's endpoint.
 func (m *ChanMesh) Conn(party int) PartyConn { return m.conns[party] }
 
+// SetRecvTimeout applies a receive deadline to every endpoint.
+func (m *ChanMesh) SetRecvTimeout(d time.Duration) {
+	for _, c := range m.conns {
+		c.SetRecvTimeout(d)
+	}
+}
+
 // Counters returns the cumulative traffic.
 func (m *ChanMesh) Counters() (messages, bytes int64) {
 	return m.messages.Load(), m.bytes.Load()
@@ -120,12 +150,21 @@ func (m *ChanMesh) Close() error {
 
 // chanConn is one party's endpoint of a ChanMesh.
 type chanConn struct {
-	mesh *ChanMesh
-	id   int
+	mesh    *ChanMesh
+	id      int
+	timeout atomic.Int64 // receive deadline in nanoseconds; 0 blocks forever
 }
 
 func (c *chanConn) ID() int      { return c.id }
 func (c *chanConn) Parties() int { return c.mesh.p }
+
+// SetRecvTimeout bounds subsequent Recvs; safe from any goroutine.
+func (c *chanConn) SetRecvTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeout.Store(int64(d))
+}
 
 func (c *chanConn) Send(to int, payload []byte) error {
 	if to == c.id || to < 0 || to >= c.mesh.p {
@@ -144,9 +183,12 @@ func (c *chanConn) Recv(from int) ([]byte, error) {
 	if from == c.id || from < 0 || from >= c.mesh.p {
 		return nil, fmt.Errorf("transport: party %d cannot receive from %d", c.id, from)
 	}
-	b, err := c.mesh.queues[from][c.id].pop()
-	if err == nil {
+	b, err := c.mesh.queues[from][c.id].popWait(time.Duration(c.timeout.Load()))
+	switch {
+	case err == nil:
 		c.mesh.obs.onRecv(from, c.id)
+	case errors.Is(err, ErrTimeout):
+		c.mesh.obs.onTimeout(from, c.id)
 	}
 	return b, err
 }

@@ -5,9 +5,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sqm/internal/invariant"
 	"sqm/internal/protocol"
+	"sqm/internal/retry"
 )
 
 // NetMesh carries the share traffic over real net.Conn links — one
@@ -34,9 +36,10 @@ type NetMesh struct {
 // netConn is one party's endpoint: links[j] is the connection to party
 // j (nil for j == id).
 type netConn struct {
-	mesh  *NetMesh
-	id    int
-	links []*link
+	mesh    *NetMesh
+	id      int
+	links   []*link
+	timeout atomic.Int64 // receive deadline in nanoseconds; 0 blocks forever
 }
 
 // link is one directed view of a pair connection: reads happen directly
@@ -103,10 +106,13 @@ func NewNetMesh(p int, pair, peer [][]net.Conn, opts ...Option) (*NetMesh, error
 // NewTCPMesh listens on P loopback sockets, connects every party pair,
 // and returns the assembled mesh. The handshake reuses the session
 // layer's Hello frame so each accepted connection self-identifies.
+// With WithDialRetry, transient dial failures are retried on the
+// option's deterministic backoff schedule before the setup is abandoned.
 func NewTCPMesh(p int, opts ...Option) (*NetMesh, error) {
 	if p < 2 {
 		return nil, fmt.Errorf("transport: mesh needs at least 2 parties, got %d", p)
 	}
+	o := applyOptions(opts)
 	listeners := make([]net.Listener, p)
 	defer func() {
 		for _, ln := range listeners {
@@ -145,7 +151,7 @@ func NewTCPMesh(p int, opts ...Option) (*NetMesh, error) {
 	// setup keeps the pairing deterministic.
 	for i := 0; i < p; i++ {
 		for j := i + 1; j < p; j++ {
-			dialed, err := net.Dial("tcp", listeners[i].Addr().String())
+			dialed, err := dialRetry(o.dial, listeners[i].Addr().String())
 			if err != nil {
 				closeAll()
 				return nil, fmt.Errorf("transport: dial %d->%d: %w", j, i, err)
@@ -175,11 +181,30 @@ func NewTCPMesh(p int, opts ...Option) (*NetMesh, error) {
 	return NewNetMesh(p, pair, peer, opts...)
 }
 
+// dialRetry dials addr under the given retry policy; the zero policy
+// degenerates to a single plain net.Dial.
+func dialRetry(p retry.Policy, addr string) (net.Conn, error) {
+	var conn net.Conn
+	err := p.Do(func(int) error {
+		var err error
+		conn, err = net.Dial("tcp", addr)
+		return err
+	})
+	return conn, err
+}
+
 // Parties returns P.
 func (m *NetMesh) Parties() int { return m.p }
 
 // Conn returns party i's endpoint.
 func (m *NetMesh) Conn(party int) PartyConn { return m.conns[party] }
+
+// SetRecvTimeout applies a receive deadline to every endpoint.
+func (m *NetMesh) SetRecvTimeout(d time.Duration) {
+	for _, c := range m.conns {
+		c.SetRecvTimeout(d)
+	}
+}
 
 // Counters returns the cumulative traffic (frames and payload bytes).
 func (m *NetMesh) Counters() (messages, bytes int64) {
@@ -204,6 +229,14 @@ func (m *NetMesh) Close() error {
 func (c *netConn) ID() int      { return c.id }
 func (c *netConn) Parties() int { return c.mesh.p }
 
+// SetRecvTimeout bounds subsequent Recvs; safe from any goroutine.
+func (c *netConn) SetRecvTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeout.Store(int64(d))
+}
+
 // Send frames the payload (version/MsgShare/sender-id/length) and hands
 // it to the link's writer pump.
 func (c *netConn) Send(to int, payload []byte) error {
@@ -226,15 +259,28 @@ func (c *netConn) Send(to int, payload []byte) error {
 
 // Recv reads the next frame from the pair connection and validates the
 // sender id carried in the session field. Peer-teardown errors (EOF,
-// reset, closed socket) are wrapped so errors.Is(err, ErrClosed) holds,
-// matching the channel mesh's failure mode.
+// reset, closed socket) are wrapped so errors.Is(err, ErrClosed) holds
+// and deadline expiries so errors.Is(err, ErrTimeout) holds, matching
+// the channel mesh's failure modes. A timeout that interrupts a frame
+// mid-read desynchronizes this link; callers recovering from ErrTimeout
+// should exclude the peer rather than keep reading from it.
 func (c *netConn) Recv(from int) ([]byte, error) {
 	if from == c.id || from < 0 || from >= c.mesh.p {
 		return nil, fmt.Errorf("transport: party %d cannot receive from %d", c.id, from)
 	}
-	m, err := protocol.ReadMessage(c.links[from].conn)
+	conn := c.links[from].conn
+	if d := time.Duration(c.timeout.Load()); d > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(d))
+	} else {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	m, err := protocol.ReadMessage(conn)
 	if err != nil {
-		return nil, wrapClosed(err)
+		err = wrapFailure(err)
+		if isTimeoutErr(err) {
+			c.mesh.obs.onTimeout(from, c.id)
+		}
+		return nil, err
 	}
 	if m.Type != protocol.MsgShare {
 		return nil, fmt.Errorf("transport: party %d expected share frame from %d, got %v", c.id, from, m.Type)

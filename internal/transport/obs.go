@@ -5,26 +5,38 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"syscall"
 	"time"
 
 	"sqm/internal/obs"
+	"sqm/internal/retry"
 )
 
 // Option configures a mesh at construction time.
 type Option func(*options)
 
 type options struct {
-	rec obs.Recorder
+	rec  obs.Recorder
+	dial retry.Policy
 }
 
 // WithRecorder attaches an observability recorder: the mesh reports
-// per-link message/byte counters and a send→recv latency histogram into
-// the recorder's metric registry. A nil recorder (or the no-op
-// recorder) leaves the mesh uninstrumented at zero cost.
+// per-link message/byte counters, a send→recv latency histogram and a
+// receive-timeout counter into the recorder's metric registry. A nil
+// recorder (or the no-op recorder) leaves the mesh uninstrumented at
+// zero cost.
 func WithRecorder(rec obs.Recorder) Option {
 	return func(o *options) { o.rec = rec }
+}
+
+// WithDialRetry retries the TCP mesh's pair dials under the given
+// deterministic backoff policy, so a peer that is still binding its
+// listener (or a transiently refused connection) does not abort the
+// whole mesh setup. The zero policy means a single attempt.
+func WithDialRetry(p retry.Policy) Option {
+	return func(o *options) { o.dial = p }
 }
 
 func applyOptions(opts []Option) options {
@@ -46,6 +58,7 @@ func applyOptions(opts []Option) options {
 // FIFO order, so the queues line up without touching the wire format.
 type meshObs struct {
 	msgs, bytes *obs.Counter
+	timeouts    *obs.Counter
 	latency     *obs.Histogram
 	linkMsgs    [][]*obs.Counter // [from][to]
 	linkBytes   [][]*obs.Counter
@@ -64,9 +77,10 @@ func newMeshObs(p int, prefix string, rec obs.Recorder) *meshObs {
 		return nil
 	}
 	o := &meshObs{
-		msgs:    m.Counter(prefix + ".messages"),
-		bytes:   m.Counter(prefix + ".bytes"),
-		latency: m.Histogram(prefix + ".send_recv.seconds"),
+		msgs:     m.Counter(prefix + ".messages"),
+		bytes:    m.Counter(prefix + ".bytes"),
+		timeouts: m.Counter(prefix + ".recv.timeouts"),
+		latency:  m.Histogram(prefix + ".send_recv.seconds"),
 	}
 	o.linkMsgs = make([][]*obs.Counter, p)
 	o.linkBytes = make([][]*obs.Counter, p)
@@ -111,6 +125,17 @@ func (o *meshObs) onRecv(from, to int) {
 	}
 }
 
+// onTimeout counts one expired receive deadline at to waiting on from.
+// The send stamp (if any) stays queued: the message may still arrive
+// and pair with a later successful receive.
+func (o *meshObs) onTimeout(from, to int) {
+	if o == nil {
+		return
+	}
+	_ = from
+	o.timeouts.Add(1)
+}
+
 // stampQueue is a FIFO of send timestamps for one ordered party pair.
 type stampQueue struct {
 	mu    sync.Mutex
@@ -134,6 +159,20 @@ func (q *stampQueue) pop() (time.Time, bool) {
 	return t, true
 }
 
+// wrapFailure normalizes a socket mesh's receive failures: deadline
+// expiries become ErrTimeout, EOF-ish teardown errors become ErrClosed.
+// Timeout is checked first — a net.Error with Timeout() true must never
+// be misread as a dead peer.
+func wrapFailure(err error) error {
+	if err == nil || errors.Is(err, ErrTimeout) {
+		return err
+	}
+	if isDeadline(err) {
+		return &timeoutError{cause: err}
+	}
+	return wrapClosed(err)
+}
+
 // wrapClosed normalizes the EOF-ish errors a socket mesh surfaces when
 // a peer tears down mid-round so that callers can test
 // errors.Is(err, ErrClosed) uniformly across chan and net meshes. The
@@ -148,6 +187,19 @@ func wrapClosed(err error) error {
 	return err
 }
 
+// isDeadline reports whether the error is an expired I/O deadline.
+func isDeadline(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// isTimeoutErr reports whether a (possibly wrapped) error is a receive
+// timeout.
+func isTimeoutErr(err error) bool { return errors.Is(err, ErrTimeout) }
+
 // isTeardown reports whether the error is one of the shapes a closed
 // TCP connection produces.
 func isTeardown(err error) bool {
@@ -158,6 +210,18 @@ func isTeardown(err error) bool {
 		errors.Is(err, syscall.ECONNRESET) ||
 		errors.Is(err, syscall.EPIPE)
 }
+
+// timeoutError carries the raw deadline error while identifying as
+// ErrTimeout.
+type timeoutError struct{ cause error }
+
+func (e *timeoutError) Error() string { return ErrTimeout.Error() + ": " + e.cause.Error() }
+
+// Is matches ErrTimeout, so errors.Is(err, ErrTimeout) holds.
+func (e *timeoutError) Is(target error) bool { return target == ErrTimeout }
+
+// Unwrap exposes the underlying transport error.
+func (e *timeoutError) Unwrap() error { return e.cause }
 
 // closedError carries the raw teardown error while identifying as
 // ErrClosed.

@@ -10,18 +10,39 @@
 // directed pair has an unbounded FIFO queue), which is what makes the
 // all-send-then-all-receive pattern of a resharing round deadlock-free
 // regardless of how far ahead one party has run. Receives block until a
-// message from the named peer arrives or the connection dies.
+// message from the named peer arrives, the connection dies (ErrClosed),
+// or the endpoint's receive deadline expires (ErrTimeout).
+//
+// Failure semantics are uniform across implementations: peer-teardown
+// errors satisfy errors.Is(err, ErrClosed) and deadline expiries satisfy
+// errors.Is(err, ErrTimeout) on every mesh, so recovery code — retry,
+// dropout exclusion — never needs to know which fabric it runs over.
+// NewFaultMesh wraps any Mesh with seeded, reproducible fault injection
+// (delay, drop, link cut, party crash) for chaos testing.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrClosed reports an operation on a closed mesh or connection.
 var ErrClosed = errors.New("transport: connection closed")
+
+// ErrTimeout reports a Recv whose deadline expired before a message
+// from the requested peer arrived. The connection itself stays usable
+// for the channel mesh; for socket meshes a timeout that interrupts a
+// partially read frame desynchronizes that link, so callers should
+// treat a timed-out peer as lost and exclude it (the dropout-tolerant
+// reconstruction path) rather than resume reading from it.
+var ErrTimeout = errors.New("transport: receive deadline exceeded")
 
 // PartyConn is one party's endpoint in a P-party mesh. It is driven by
 // exactly one goroutine (the owning party actor); implementations need
 // not support concurrent Send/Recv from multiple goroutines of the same
 // party, but different parties always operate concurrently.
+// SetRecvTimeout is the one exception: it is safe to call from any
+// goroutine (the mesh-wide deadline broadcast).
 type PartyConn interface {
 	// ID returns this endpoint's party index in [0, Parties()).
 	ID() int
@@ -33,11 +54,18 @@ type PartyConn interface {
 	Send(to int, payload []byte) error
 	// Recv blocks until the next payload from party from arrives.
 	// Messages from one sender are delivered in send order (per-pair
-	// FIFO); ordering across senders is unspecified.
+	// FIFO); ordering across senders is unspecified. When a receive
+	// deadline is set and expires first, Recv fails with an error
+	// satisfying errors.Is(err, ErrTimeout).
 	Recv(from int) ([]byte, error)
+	// SetRecvTimeout bounds every subsequent Recv on this endpoint:
+	// when no message from the requested peer arrives within d, Recv
+	// fails with ErrTimeout instead of blocking forever. d <= 0
+	// restores unbounded blocking receives (the default).
+	SetRecvTimeout(d time.Duration)
 	// Close tears down this endpoint; pending and future Recvs on any
-	// party blocked on this endpoint's traffic fail with ErrClosed (or
-	// an EOF-like error for socket meshes).
+	// party blocked on this endpoint's traffic fail with an error
+	// satisfying errors.Is(err, ErrClosed).
 	Close() error
 }
 
@@ -48,6 +76,9 @@ type Mesh interface {
 	Parties() int
 	// Conn returns party i's endpoint.
 	Conn(party int) PartyConn
+	// SetRecvTimeout applies a receive deadline to every endpoint (see
+	// PartyConn.SetRecvTimeout).
+	SetRecvTimeout(d time.Duration)
 	// Counters returns the cumulative messages sent and payload bytes
 	// carried since the mesh was created.
 	Counters() (messages, bytes int64)

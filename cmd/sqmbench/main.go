@@ -37,7 +37,7 @@ type runReport struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig2, fig3, fig4, fig5, table1..table5, chaos, all")
+		exp     = flag.String("exp", "all", "experiment id: fig2, fig3, fig4, fig5, table1..table5, plans, chaos, all")
 		runs    = flag.Int("runs", 3, "repeats per cell (paper: 20)")
 		full    = flag.Bool("full", false, "paper-scale dataset shapes (slow)")
 		budget  = flag.Int64("bgw-budget", 2e8, "max field ops executed by the real BGW engine per timing cell; larger cells are extrapolated and marked '*'")

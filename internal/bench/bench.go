@@ -134,6 +134,7 @@ func All(o Options) []*Table {
 	out = append(out, Figure2(o)...)
 	out = append(out, Figure3(o), Figure4(o), Figure5(o))
 	out = append(out, Table1(), Table2(o), Table3(), Table4(o), Table5(o))
+	out = append(out, Plans(o))
 	return out
 }
 
@@ -159,6 +160,8 @@ func ByID(id string, o Options) ([]*Table, error) {
 		return []*Table{Table4(o)}, nil
 	case "table5":
 		return []*Table{Table5(o)}, nil
+	case "plans":
+		return []*Table{Plans(o)}, nil
 	case "ablations":
 		return Ablations(o), nil
 	case "profile":

@@ -44,7 +44,7 @@ type ActorEngine struct {
 	err             error
 	closed          bool
 
-	baseRounds, baseMsgs, baseBytes, baseOps int64
+	baseRounds, baseFrames, baseMsgs, baseBytes, baseOps int64
 
 	rec         obs.Recorder // nil when telemetry is disabled
 	roundHist   *obs.Histogram
@@ -160,13 +160,14 @@ func (e *ActorEngine) AdvanceRound() {
 func (e *ActorEngine) Err() error { return e.err }
 
 // Stats synchronizes with the actors and returns counters: rounds from
-// the protocol structure, messages and bytes measured by the transport,
-// field operations summed over the parties' local work.
+// the protocol structure, frames/messages/bytes measured by the
+// transport, field operations summed over the parties' local work.
 func (e *ActorEngine) Stats() Stats {
 	ops := e.collectOps()
-	msgs, bytes := e.mesh.Counters()
+	frames, msgs, bytes := e.mesh.Counters()
 	return Stats{
 		Rounds:   e.rounds - e.baseRounds,
+		Frames:   frames - e.baseFrames,
 		Messages: msgs - e.baseMsgs,
 		Bytes:    bytes - e.baseBytes,
 		FieldOps: ops - e.baseOps,
@@ -176,7 +177,7 @@ func (e *ActorEngine) Stats() Stats {
 // ResetStats zeroes the counters (between experiment phases).
 func (e *ActorEngine) ResetStats() {
 	e.baseOps = e.collectOps()
-	e.baseMsgs, e.baseBytes = e.mesh.Counters()
+	e.baseFrames, e.baseMsgs, e.baseBytes = e.mesh.Counters()
 	e.baseRounds = e.rounds
 }
 
@@ -471,6 +472,69 @@ func (e *ActorEngine) DotBatch(pairs []VecPair, workers int) []Val {
 	}
 	e.dispatch(&actorCmd{op: opDotBatch, refs: refs, refs2: refs2})
 	return out
+}
+
+// MulBatch evaluates one level of independent multiplicative gates in a
+// single batched degree-reduction round: every party computes all local
+// degree-2t values, then one reshare exchange carries every sub-share
+// in one frame per ordered party pair.
+func (e *ActorEngine) MulBatch(items []MulItem) []Val {
+	out := make([]Val, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	muls := make([]mulDesc, len(items))
+	for i, it := range items {
+		switch it.Kind {
+		case MulScalar:
+			muls[i] = mulDesc{kind: MulScalar, a: e.scRef(it.A), b: e.scRef(it.B)}
+		case MulInner:
+			if len(it.As) != len(it.Bs) {
+				panic(invariant.Violation("bgw: MulBatch inner-product length mismatch"))
+			}
+			refs := make([]int, len(it.As))
+			refs2 := make([]int, len(it.Bs))
+			for k := range it.As {
+				refs[k] = e.scRef(it.As[k])
+				refs2[k] = e.scRef(it.Bs[k])
+			}
+			muls[i] = mulDesc{kind: MulInner, refs: refs, refs2: refs2}
+		case MulDot:
+			if it.VA.Len() != it.VB.Len() {
+				panic(invariant.Violation("bgw: vector length mismatch"))
+			}
+			muls[i] = mulDesc{kind: MulDot, a: e.vecRef(it.VA), b: e.vecRef(it.VB)}
+		default:
+			panic(invariant.Violation("bgw: unknown MulKind %d", it.Kind))
+		}
+	}
+	for i := range out {
+		out[i] = &ActorShared{eng: e, ref: e.newSc()}
+	}
+	e.dispatch(&actorCmd{op: opMulBatch, muls: muls})
+	return out
+}
+
+// OpenBatch reveals many shared scalars in one batched opening round;
+// party 0 reports the values to the caller.
+func (e *ActorEngine) OpenBatch(vals []Val) []int64 {
+	out := make([]int64, len(vals))
+	if len(vals) == 0 {
+		return out
+	}
+	refs := make([]int, len(vals))
+	for i, v := range vals {
+		refs[i] = e.scRef(v)
+	}
+	c := &actorCmd{op: opOpenBatch, refs: refs, reply: make(chan actorReply, e.p)}
+	if !e.dispatch(c) {
+		return out
+	}
+	replies := e.await(c)
+	if e.err != nil || replies[0].vals == nil {
+		return make([]int64, len(vals))
+	}
+	return replies[0].vals
 }
 
 // FromScalars packs scalar shares into a vector; local.

@@ -36,7 +36,18 @@ const (
 	opOpenVec
 	opAdditive
 	opBarrier
+	opMulBatch
+	opOpenBatch
 )
+
+// mulDesc is the wire form of one MulBatch item: operand slots resolved
+// facade-side so the parties only index their share arrays.
+type mulDesc struct {
+	kind  MulKind
+	a, b  int   // scalar (MulScalar) or vector (MulDot) slots
+	refs  []int // MulInner operand list A
+	refs2 []int // MulInner operand list B
+}
 
 // actorCmd is one broadcast command. Operand fields are interpreted per
 // opcode; refs/refs2 carry operand lists for the fused gates. The
@@ -50,8 +61,9 @@ type actorCmd struct {
 	elem    field.Elem   // raw field input (opInputElem)
 	owner   int          // input owner (opInput*, also used by opInputVec)
 	ints    []int64      // signed input vector (opInputVec)
-	refs    []int        // operand list A (opInnerProduct, opDotBatch, opFromScalars)
+	refs    []int        // operand list A (opInnerProduct, opDotBatch, opFromScalars, opOpenBatch)
 	refs2   []int        // operand list B
+	muls    []mulDesc    // gate list (opMulBatch)
 	weights []field.Elem // Lagrange weights (opAdditive)
 	reply   chan actorReply
 }
@@ -205,6 +217,55 @@ func (a *actorParty) exec(c *actorCmd) error {
 			r.vals = out
 		}
 		c.reply <- r
+	case opMulBatch:
+		highs := make([]field.Elem, len(c.muls))
+		for m, d := range c.muls {
+			switch d.kind {
+			case MulScalar:
+				highs[m] = field.Mul(a.sc[d.a], a.sc[d.b])
+				a.fieldOps++
+			case MulInner:
+				var acc field.Elem
+				for i := range d.refs {
+					acc = field.Add(acc, field.Mul(a.sc[d.refs[i]], a.sc[d.refs2[i]]))
+				}
+				a.fieldOps += int64(len(d.refs))
+				highs[m] = acc
+			case MulDot:
+				va, vb := a.vc[d.a], a.vc[d.b]
+				var acc field.Elem
+				for k := range va {
+					acc = field.Add(acc, field.Mul(va[k], vb[k]))
+				}
+				a.fieldOps += int64(len(va))
+				highs[m] = acc
+			default:
+				return fmt.Errorf("unknown mul kind %d", d.kind)
+			}
+		}
+		out, err := a.reshare(highs)
+		if err != nil {
+			return err
+		}
+		a.sc = append(a.sc, out...)
+	case opOpenBatch:
+		mine := make([]field.Elem, len(c.refs))
+		for m, r := range c.refs {
+			mine[m] = a.sc[r]
+		}
+		vals, err := a.openValues(mine)
+		if err != nil {
+			return err
+		}
+		r := actorReply{party: a.id}
+		if a.id == 0 {
+			out := make([]int64, len(vals))
+			for k, v := range vals {
+				out[k] = field.ToInt64(v)
+			}
+			r.vals = out
+		}
+		c.reply <- r
 	case opAdditive:
 		c.reply <- actorReply{party: a.id, elem: field.Mul(c.weights[a.id], a.sc[c.a])}
 	case opBarrier:
@@ -271,7 +332,7 @@ func (a *actorParty) inputVec(owner int, vs []int64) error {
 			if j == a.id {
 				continue
 			}
-			if err := a.conn.Send(j, bufs[j]); err != nil {
+			if err := a.conn.SendN(j, bufs[j], n); err != nil {
 				return err
 			}
 		}
@@ -312,7 +373,7 @@ func (a *actorParty) reshare(highs []field.Elem) ([]field.Elem, error) {
 		for m := range subs {
 			putElem(buf[8*m:], subs[m][j])
 		}
-		if err := a.conn.Send(j, buf); err != nil {
+		if err := a.conn.SendN(j, buf, n); err != nil {
 			return nil, err
 		}
 	}
@@ -358,7 +419,7 @@ func (a *actorParty) openValues(mine []field.Elem) ([]field.Elem, error) {
 		}
 		// Each peer gets its own copy: the transport owns payloads.
 		b := append([]byte(nil), out...)
-		if err := a.conn.Send(j, b); err != nil {
+		if err := a.conn.SendN(j, b, n); err != nil {
 			return nil, err
 		}
 	}

@@ -45,10 +45,15 @@ type Config struct {
 	RecvTimeout time.Duration
 }
 
-// Stats meters the protocol execution.
+// Stats meters the protocol execution. Frames and Messages separate
+// physical sends from logical traffic: a batched round folds the
+// independent messages of a whole level into one frame per ordered
+// party pair, so Frames drops with batching while Messages — the
+// protocol-defined traffic — stays put.
 type Stats struct {
 	Rounds   int64 // communication rounds
-	Messages int64 // point-to-point messages
+	Frames   int64 // physical point-to-point sends (batched frames count once)
+	Messages int64 // logical point-to-point messages
 	Bytes    int64 // payload bytes (8 per field element per message)
 	FieldOps int64 // local field multiplications (cost-model input)
 }
@@ -157,6 +162,7 @@ type Shared struct {
 func (e *Engine) Input(owner int, v int64) *Shared {
 	e.checkParty(owner)
 	sh := shamir.Share(field.FromInt64(v), e.t, e.p, e.rngs[owner])
+	e.stats.Frames += int64(e.p - 1)
 	e.stats.Messages += int64(e.p - 1)
 	e.stats.Bytes += 8 * int64(e.p-1)
 	e.stats.FieldOps += int64(e.p * (e.t + 1))
@@ -169,6 +175,7 @@ func (e *Engine) Input(owner int, v int64) *Shared {
 func (e *Engine) InputElem(owner int, v field.Elem) *Shared {
 	e.checkParty(owner)
 	sh := shamir.Share(v, e.t, e.p, e.rngs[owner])
+	e.stats.Frames += int64(e.p - 1)
 	e.stats.Messages += int64(e.p - 1)
 	e.stats.Bytes += 8 * int64(e.p-1)
 	e.stats.FieldOps += int64(e.p * (e.t + 1))
@@ -180,6 +187,7 @@ func (e *Engine) OpenElem(s *Shared) field.Elem {
 	if s.eng != e {
 		panic(invariant.Violation("bgw: foreign share"))
 	}
+	e.stats.Frames += int64(e.p * (e.p - 1))
 	e.stats.Messages += int64(e.p * (e.p - 1))
 	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
 	e.stats.FieldOps += int64(e.p)
@@ -266,18 +274,36 @@ func (e *Engine) Mul(a, b *Shared) *Shared {
 // re-shares its value high[i] and the parties linearly combine the
 // sub-shares with the Lagrange weights.
 func (e *Engine) reshare(high []field.Elem) *Shared {
-	out := make([]field.Elem, e.p)
+	return e.reshareBatch([][]field.Elem{high})[0]
+}
+
+// reshareBatch runs one degree-reduction round for a batch of degree-2t
+// values (highs[m][i] is party i's value of batch item m): every party
+// re-shares all of its values and sends each peer a single frame
+// carrying all sub-shares, so a level of independent multiplications
+// costs one frame per ordered party pair regardless of batch size.
+// Each party consumes its private stream value-major (item 0, 1, …),
+// matching both the eager per-gate order and the actor parties.
+func (e *Engine) reshareBatch(highs [][]field.Elem) []*Shared {
+	n := len(highs)
+	outs := make([]*Shared, n)
+	for m := range outs {
+		outs[m] = &Shared{eng: e, shares: make([]field.Elem, e.p)}
+	}
 	for i := 0; i < e.p; i++ {
-		sub := shamir.Share(high[i], e.t, e.p, e.rngs[i])
 		wi := e.weights[i]
-		for j := 0; j < e.p; j++ {
-			out[j] = field.Add(out[j], field.Mul(wi, sub[j]))
+		for m := range highs {
+			sub := shamir.Share(highs[m][i], e.t, e.p, e.rngs[i])
+			for j := 0; j < e.p; j++ {
+				outs[m].shares[j] = field.Add(outs[m].shares[j], field.Mul(wi, sub[j]))
+			}
 		}
 	}
-	e.stats.Messages += int64(e.p * (e.p - 1))
-	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
-	e.stats.FieldOps += int64(e.p * (e.p + e.t + 1))
-	return &Shared{eng: e, shares: out}
+	e.stats.Frames += int64(e.p * (e.p - 1))
+	e.stats.Messages += int64(n * e.p * (e.p - 1))
+	e.stats.Bytes += 8 * int64(n*e.p*(e.p-1))
+	e.stats.FieldOps += int64(n * e.p * (e.p + e.t + 1))
+	return outs
 }
 
 // InnerProduct returns a sharing of Σ_k a[k]·b[k] using the fused gate:
@@ -307,6 +333,7 @@ func (e *Engine) Open(s *Shared) int64 {
 	if s.eng != e {
 		panic(invariant.Violation("bgw: foreign share"))
 	}
+	e.stats.Frames += int64(e.p * (e.p - 1))
 	e.stats.Messages += int64(e.p * (e.p - 1))
 	e.stats.Bytes += 8 * int64(e.p*(e.p-1))
 	e.stats.FieldOps += int64(e.p)

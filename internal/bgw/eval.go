@@ -4,7 +4,9 @@ import (
 	"time"
 
 	"sqm/internal/field"
+	"sqm/internal/invariant"
 	"sqm/internal/obs"
+	"sqm/internal/shamir"
 )
 
 // Val is an opaque handle to one secret-shared scalar. Each Evaluator
@@ -21,6 +23,29 @@ type Vec interface {
 
 // VecPair names one fused inner product of a DotBatch.
 type VecPair struct{ A, B Vec }
+
+// MulKind selects the shape of one MulBatch item.
+type MulKind uint8
+
+const (
+	// MulScalar is one scalar product a·b (fields A, B).
+	MulScalar MulKind = iota
+	// MulInner is one fused inner product Σ_k As[k]·Bs[k] over scalar
+	// handles (fields As, Bs).
+	MulInner
+	// MulDot is one fused inner product ⟨VA, VB⟩ over vector handles
+	// (fields VA, VB).
+	MulDot
+)
+
+// MulItem describes one multiplicative gate of a batched round. Only
+// the fields selected by Kind are read.
+type MulItem struct {
+	Kind   MulKind
+	A, B   Val   // MulScalar operands
+	As, Bs []Val // MulInner operand lists
+	VA, VB Vec   // MulDot operands
+}
 
 // Evaluator is the abstract MPC backend the SQM protocols run against.
 // It captures exactly the share operations the paper's circuits need:
@@ -94,6 +119,14 @@ type Evaluator interface {
 	// DotBatch evaluates many fused inner products belonging to the
 	// same communication round.
 	DotBatch(pairs []VecPair, workers int) []Val
+	// MulBatch evaluates one whole level of independent multiplicative
+	// gates (scalar products, fused inner products, vector dots) in a
+	// single degree-reduction round: all sub-shares travel in one frame
+	// per ordered party pair. Results are returned in item order.
+	MulBatch(items []MulItem) []Val
+	// OpenBatch reveals many shared scalars in one batched opening
+	// round (one frame per ordered party pair carrying every share).
+	OpenBatch(vals []Val) []int64
 	// FromScalars packs scalar shares into a vector; local.
 	FromScalars(xs []Val) Vec
 	// OpenVec reveals every element as one batched opening.
@@ -157,6 +190,77 @@ func (m monoEval) DotBatch(pairs []VecPair, workers int) []Val {
 	for i, s := range shared {
 		out[i] = s
 	}
+	return out
+}
+
+// MulBatch computes every item's local degree-2t value and restores
+// degree t with a single batched resharing round.
+func (m monoEval) MulBatch(items []MulItem) []Val {
+	e := m.e
+	out := make([]Val, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	highs := make([][]field.Elem, len(items))
+	for idx, it := range items {
+		acc := make([]field.Elem, e.p)
+		switch it.Kind {
+		case MulScalar:
+			a, b := it.A.(*Shared), it.B.(*Shared)
+			e.checkSame(a, b)
+			for i := 0; i < e.p; i++ {
+				acc[i] = field.Mul(a.shares[i], b.shares[i])
+			}
+			e.stats.FieldOps += int64(e.p)
+		case MulInner:
+			for k := range it.As {
+				a, b := it.As[k].(*Shared), it.Bs[k].(*Shared)
+				e.checkSame(a, b)
+				for i := 0; i < e.p; i++ {
+					acc[i] = field.Add(acc[i], field.Mul(a.shares[i], b.shares[i]))
+				}
+			}
+			e.stats.FieldOps += int64(e.p * len(it.As))
+		case MulDot:
+			a, b := it.VA.(*SharedVec), it.VB.(*SharedVec)
+			e.checkSameVec(a, b)
+			n := a.Len()
+			for i := 0; i < e.p; i++ {
+				ai, bi := a.shares[i], b.shares[i]
+				var s field.Elem
+				for k := 0; k < n; k++ {
+					s = field.Add(s, field.Mul(ai[k], bi[k]))
+				}
+				acc[i] = s
+			}
+			e.stats.FieldOps += int64(e.p * n)
+		}
+		highs[idx] = acc
+	}
+	for i, s := range e.reshareBatch(highs) {
+		out[i] = s
+	}
+	return out
+}
+
+// OpenBatch reveals every value in one batched opening round.
+func (m monoEval) OpenBatch(vals []Val) []int64 {
+	e := m.e
+	out := make([]int64, len(vals))
+	if len(vals) == 0 {
+		return out
+	}
+	for k, v := range vals {
+		s := v.(*Shared)
+		if s.eng != e {
+			panic(invariant.Violation("bgw: foreign share"))
+		}
+		out[k] = field.ToInt64(shamir.ReconstructWithWeights(e.weights, s.shares))
+	}
+	e.stats.Frames += int64(e.p * (e.p - 1))
+	e.stats.Messages += int64(len(vals) * e.p * (e.p - 1))
+	e.stats.Bytes += 8 * int64(len(vals)*e.p*(e.p-1))
+	e.stats.FieldOps += int64(e.p * len(vals))
 	return out
 }
 

@@ -18,7 +18,8 @@ type SharedVec struct {
 func (v *SharedVec) Len() int { return len(v.shares[0]) }
 
 // InputVec has party owner secret-share the signed vector vs. One
-// batched message per receiving party is metered.
+// batched frame per receiving party is metered, carrying one logical
+// message per element.
 func (e *Engine) InputVec(owner int, vs []int64) *SharedVec {
 	e.checkParty(owner)
 	out := &SharedVec{eng: e, shares: make([][]field.Elem, e.p)}
@@ -32,7 +33,8 @@ func (e *Engine) InputVec(owner int, vs []int64) *SharedVec {
 			out.shares[i][k] = sh[i]
 		}
 	}
-	e.stats.Messages += int64(e.p - 1)
+	e.stats.Frames += int64(e.p - 1)
+	e.stats.Messages += int64(len(vs) * (e.p - 1))
 	e.stats.Bytes += 8 * int64(len(vs)*(e.p-1))
 	e.stats.FieldOps += int64(len(vs) * e.p * (e.t + 1))
 	return out
@@ -175,7 +177,8 @@ func (e *Engine) OpenVec(v *SharedVec) []int64 {
 		}
 		out[k] = field.ToInt64(shamir.ReconstructWithWeights(e.weights, sh))
 	}
-	e.stats.Messages += int64(e.p * (e.p - 1))
+	e.stats.Frames += int64(e.p * (e.p - 1))
+	e.stats.Messages += int64(n * e.p * (e.p - 1))
 	e.stats.Bytes += 8 * int64(n*e.p*(e.p-1))
 	e.stats.FieldOps += int64(e.p * n)
 	return out

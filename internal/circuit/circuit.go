@@ -1,0 +1,430 @@
+// Package circuit compiles SQM protocols to level-scheduled execution
+// plans. A recording Builder implements the bgw.Evaluator gate surface
+// but captures every operation into a DAG IR instead of executing it;
+// Compile levels the DAG by multiplicative depth; the resulting Plan
+// executes against any real bgw.Evaluator, running each level as ONE
+// batched communication round — all of a level's degree reductions
+// travel in a single reshare exchange (one frame per ordered party
+// pair), and the round count derives from the plan's structure instead
+// of hand-placed AdvanceRound calls.
+//
+// Protocols build their plan once and re-execute it per epoch or batch
+// with fresh bindings: public constants (ConstParam), per-run secret
+// inputs (InputParam/InputVecParam) and pre-existing engine shares
+// (ExtVal/ExtVec) are plan parameters filled in at execution time.
+//
+// Because BGW computes exactly, opened values are bit-identical across
+// gate orderings and batchings — the plan executor is free to reorder
+// and fuse communication without changing any output.
+package circuit
+
+import (
+	"time"
+
+	"sqm/internal/bgw"
+	"sqm/internal/field"
+	"sqm/internal/invariant"
+	"sqm/internal/obs"
+)
+
+// nodeKind enumerates the IR node types.
+type nodeKind uint8
+
+const (
+	kZero nodeKind = iota
+	kInput
+	kInputElem
+	kInputVec
+	kInputParam
+	kInputVecParam
+	kExtVal
+	kExtVec
+	kAdd
+	kSub
+	kAddConst
+	kMulConst
+	kAddConstP
+	kMulConstP
+	kMul
+	kInner
+	kDot
+	kAt
+	kAddVec
+	kFromScalars
+	kOpen
+	kOpenVec
+)
+
+// isMul reports whether the node costs a degree-reduction resharing.
+func (k nodeKind) isMul() bool { return k == kMul || k == kInner || k == kDot }
+
+// isInput reports whether the node costs the input sharing round.
+func (k nodeKind) isInput() bool {
+	switch k {
+	case kInput, kInputElem, kInputVec, kInputParam, kInputVecParam:
+		return true
+	}
+	return false
+}
+
+// isVec reports whether the node produces a vector handle.
+func (k nodeKind) isVec() bool {
+	switch k {
+	case kInputVec, kInputVecParam, kExtVec, kAddVec, kFromScalars:
+		return true
+	}
+	return false
+}
+
+// node is one IR operation. Operand fields are interpreted per kind.
+type node struct {
+	kind  nodeKind
+	a, b  int        // operand node ids
+	k     int        // element index (kAt)
+	c     int64      // public constant (kInput, kAddConst, kMulConst)
+	elem  field.Elem // raw field input (kInputElem)
+	owner int        // input owner party
+	param int        // parameter slot (const/input/ext params)
+	ints  []int64    // literal input vector (kInputVec)
+	args  []int      // operand list A (kInner, kFromScalars)
+	args2 []int      // operand list B (kInner)
+	n     int        // vector length of vector-producing nodes
+	level int        // multiplicative level, assigned by Compile
+}
+
+// Val is a handle to one recorded scalar node; it is passed around as a
+// bgw.Val so recorded protocols run unchanged against the Builder.
+type Val struct {
+	b  *Builder
+	id int
+}
+
+// Vec is a handle to one recorded vector node.
+type Vec struct {
+	b  *Builder
+	id int
+	n  int
+}
+
+// Len returns the recorded vector length.
+func (v Vec) Len() int { return v.n }
+
+// ConstID names one public-constant parameter of a plan.
+type ConstID int
+
+// Builder records the gate stream of one protocol run into a DAG. It
+// implements bgw.Evaluator, so protocol code written against the
+// engines records unchanged; operations that would reveal values (Open,
+// OpenVec) record an output gate and return zeros — real values come
+// from Result.Opened after execution.
+type Builder struct {
+	p, t  int
+	nodes []node
+
+	nConsts, nInputs, nInputVecs, nExt, nExtVecs int
+	opens, openVecs                              []int // node ids in record order
+}
+
+// NewBuilder starts recording a circuit for a P-party deployment with
+// threshold t (0 means floor((P−1)/2), matching bgw.Config).
+func NewBuilder(parties, threshold int) *Builder {
+	if threshold == 0 {
+		threshold = (parties - 1) / 2
+	}
+	return &Builder{p: parties, t: threshold}
+}
+
+func (b *Builder) add(n node) int {
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, n)
+	return id
+}
+
+func (b *Builder) val(x bgw.Val) int {
+	v, ok := x.(Val)
+	if !ok || v.b != b {
+		panic(invariant.Violation("circuit: value handle from a different builder"))
+	}
+	return v.id
+}
+
+func (b *Builder) vec(x bgw.Vec) Vec {
+	v, ok := x.(Vec)
+	if !ok || v.b != b {
+		panic(invariant.Violation("circuit: vector handle from a different builder"))
+	}
+	return v
+}
+
+func (b *Builder) checkParty(i int) {
+	if i < 0 || i >= b.p {
+		panic(invariant.Violation("circuit: party %d out of range [0,%d)", i, b.p))
+	}
+}
+
+// ---- plan parameters ----
+
+// ConstParam declares a public-constant parameter, bound per execution
+// via Bindings.Consts. Use with AddConstP/MulConstP for coefficients
+// that change between runs of the same circuit shape.
+func (b *Builder) ConstParam() ConstID {
+	id := ConstID(b.nConsts)
+	b.nConsts++
+	return id
+}
+
+// InputParam declares a per-execution secret scalar input owned by
+// party owner, bound via Bindings.Inputs in declaration order.
+func (b *Builder) InputParam(owner int) bgw.Val {
+	b.checkParty(owner)
+	p := b.nInputs
+	b.nInputs++
+	return Val{b: b, id: b.add(node{kind: kInputParam, owner: owner, param: p})}
+}
+
+// InputVecParam declares a per-execution secret vector input of length
+// n owned by party owner, bound via Bindings.InputVecs.
+func (b *Builder) InputVecParam(owner, n int) bgw.Vec {
+	b.checkParty(owner)
+	p := b.nInputVecs
+	b.nInputVecs++
+	return Vec{b: b, id: b.add(node{kind: kInputVecParam, owner: owner, param: p, n: n}), n: n}
+}
+
+// ExtVal declares a scalar that already lives inside the executing
+// engine (e.g. a share produced by an earlier plan), bound via
+// Bindings.Ext. External values join the DAG at level 0 without
+// costing the input round.
+func (b *Builder) ExtVal() bgw.Val {
+	p := b.nExt
+	b.nExt++
+	return Val{b: b, id: b.add(node{kind: kExtVal, param: p})}
+}
+
+// ExtVec declares an engine-resident vector of length n, bound via
+// Bindings.ExtVecs.
+func (b *Builder) ExtVec(n int) bgw.Vec {
+	p := b.nExtVecs
+	b.nExtVecs++
+	return Vec{b: b, id: b.add(node{kind: kExtVec, param: p, n: n}), n: n}
+}
+
+// AddConstP returns a sharing of a + c for the constant parameter c.
+func (b *Builder) AddConstP(a bgw.Val, c ConstID) bgw.Val {
+	if int(c) >= b.nConsts {
+		panic(invariant.Violation("circuit: undeclared const param %d", c))
+	}
+	return Val{b: b, id: b.add(node{kind: kAddConstP, a: b.val(a), param: int(c)})}
+}
+
+// MulConstP returns a sharing of c·a for the constant parameter c.
+func (b *Builder) MulConstP(a bgw.Val, c ConstID) bgw.Val {
+	if int(c) >= b.nConsts {
+		panic(invariant.Violation("circuit: undeclared const param %d", c))
+	}
+	return Val{b: b, id: b.add(node{kind: kMulConstP, a: b.val(a), param: int(c)})}
+}
+
+// OpenIdx records an output gate for v and returns its index into
+// Result.Opened. This is the recording counterpart of Open for callers
+// that need the value after execution.
+func (b *Builder) OpenIdx(v bgw.Val) int {
+	b.opens = append(b.opens, b.add(node{kind: kOpen, a: b.val(v)}))
+	return len(b.opens) - 1
+}
+
+// OpenVecIdx records a vector output gate and returns its index into
+// Result.OpenedVec.
+func (b *Builder) OpenVecIdx(v bgw.Vec) int {
+	cv := b.vec(v)
+	b.openVecs = append(b.openVecs, b.add(node{kind: kOpenVec, a: cv.id, n: cv.n}))
+	return len(b.openVecs) - 1
+}
+
+// ---- bgw.Evaluator surface (recording) ----
+
+// Parties returns P.
+func (b *Builder) Parties() int { return b.p }
+
+// Threshold returns t.
+func (b *Builder) Threshold() int { return b.t }
+
+// Latency returns 0: the Builder never communicates.
+func (b *Builder) Latency() time.Duration { return 0 }
+
+// Stats returns zeros: recording costs nothing.
+func (b *Builder) Stats() bgw.Stats { return bgw.Stats{} }
+
+// ResetStats is a no-op.
+func (b *Builder) ResetStats() {}
+
+// AdvanceRound is a no-op: rounds derive from the compiled plan's
+// levels, not from caller bookkeeping.
+func (b *Builder) AdvanceRound() {}
+
+// Recorder returns the no-op telemetry sink.
+func (b *Builder) Recorder() obs.Recorder { return obs.Or(nil) }
+
+// Err always reports healthy.
+func (b *Builder) Err() error { return nil }
+
+// Close is a no-op.
+func (b *Builder) Close() error { return nil }
+
+// Input records a literal secret input.
+func (b *Builder) Input(owner int, v int64) bgw.Val {
+	b.checkParty(owner)
+	return Val{b: b, id: b.add(node{kind: kInput, owner: owner, c: v})}
+}
+
+// InputElem records a literal raw-field input.
+func (b *Builder) InputElem(owner int, e field.Elem) bgw.Val {
+	b.checkParty(owner)
+	return Val{b: b, id: b.add(node{kind: kInputElem, owner: owner, elem: e})}
+}
+
+// InputVec records a literal secret vector input.
+func (b *Builder) InputVec(owner int, vs []int64) bgw.Vec {
+	b.checkParty(owner)
+	ints := append([]int64(nil), vs...)
+	return Vec{b: b, id: b.add(node{kind: kInputVec, owner: owner, ints: ints, n: len(vs)}), n: len(vs)}
+}
+
+// Zero records a trivial sharing of 0.
+func (b *Builder) Zero() bgw.Val { return Val{b: b, id: b.add(node{kind: kZero})} }
+
+// Add records a + b.
+func (b *Builder) Add(a, c bgw.Val) bgw.Val {
+	return Val{b: b, id: b.add(node{kind: kAdd, a: b.val(a), b: b.val(c)})}
+}
+
+// Sub records a − b.
+func (b *Builder) Sub(a, c bgw.Val) bgw.Val {
+	return Val{b: b, id: b.add(node{kind: kSub, a: b.val(a), b: b.val(c)})}
+}
+
+// AddConst records a + c.
+func (b *Builder) AddConst(a bgw.Val, c int64) bgw.Val {
+	return Val{b: b, id: b.add(node{kind: kAddConst, a: b.val(a), c: c})}
+}
+
+// MulConst records c·a.
+func (b *Builder) MulConst(a bgw.Val, c int64) bgw.Val {
+	return Val{b: b, id: b.add(node{kind: kMulConst, a: b.val(a), c: c})}
+}
+
+// Mul records the multiplicative gate a·b.
+func (b *Builder) Mul(a, c bgw.Val) bgw.Val {
+	return Val{b: b, id: b.add(node{kind: kMul, a: b.val(a), b: b.val(c)})}
+}
+
+// InnerProduct records the fused gate Σ_k as[k]·bs[k].
+func (b *Builder) InnerProduct(as, bs []bgw.Val) bgw.Val {
+	if len(as) != len(bs) {
+		panic(invariant.Violation("circuit: InnerProduct length mismatch"))
+	}
+	args := make([]int, len(as))
+	args2 := make([]int, len(bs))
+	for i := range as {
+		args[i] = b.val(as[i])
+		args2[i] = b.val(bs[i])
+	}
+	return Val{b: b, id: b.add(node{kind: kInner, args: args, args2: args2})}
+}
+
+// AdditiveShares cannot be recorded — the conversion reveals engine
+// share state the Builder does not have. It returns zero addends; run
+// the compiled plan and use Result.ValOf with the real engine instead.
+func (b *Builder) AdditiveShares(s bgw.Val, weights []field.Elem) []field.Elem {
+	b.val(s)
+	return make([]field.Elem, b.p)
+}
+
+// Open records an output gate and returns 0 — recorded circuits never
+// see real values. Use OpenIdx to keep the index into Result.Opened.
+func (b *Builder) Open(s bgw.Val) int64 {
+	b.OpenIdx(s)
+	return 0
+}
+
+// At records the element extraction v[k].
+func (b *Builder) At(v bgw.Vec, k int) bgw.Val {
+	cv := b.vec(v)
+	if k < 0 || k >= cv.n {
+		panic(invariant.Violation("circuit: vector index out of range"))
+	}
+	return Val{b: b, id: b.add(node{kind: kAt, a: cv.id, k: k})}
+}
+
+// AddVec records the element-wise sum a + b.
+func (b *Builder) AddVec(a, c bgw.Vec) bgw.Vec {
+	ca, cc := b.vec(a), b.vec(c)
+	if ca.n != cc.n {
+		panic(invariant.Violation("circuit: vector length mismatch"))
+	}
+	return Vec{b: b, id: b.add(node{kind: kAddVec, a: ca.id, b: cc.id, n: ca.n}), n: ca.n}
+}
+
+// Dot records the fused inner product ⟨a, b⟩.
+func (b *Builder) Dot(a, c bgw.Vec) bgw.Val {
+	ca, cc := b.vec(a), b.vec(c)
+	if ca.n != cc.n {
+		panic(invariant.Violation("circuit: vector length mismatch"))
+	}
+	return Val{b: b, id: b.add(node{kind: kDot, a: ca.id, b: cc.id})}
+}
+
+// DotBatch records one Dot gate per pair; the scheduler re-batches all
+// gates of a level anyway, so the grouping hint is not kept.
+func (b *Builder) DotBatch(pairs []bgw.VecPair, workers int) []bgw.Val {
+	_ = workers
+	out := make([]bgw.Val, len(pairs))
+	for i, p := range pairs {
+		out[i] = b.Dot(p.A, p.B)
+	}
+	return out
+}
+
+// MulBatch records the constituent gates individually.
+func (b *Builder) MulBatch(items []bgw.MulItem) []bgw.Val {
+	out := make([]bgw.Val, len(items))
+	for i, it := range items {
+		switch it.Kind {
+		case bgw.MulScalar:
+			out[i] = b.Mul(it.A, it.B)
+		case bgw.MulInner:
+			out[i] = b.InnerProduct(it.As, it.Bs)
+		case bgw.MulDot:
+			out[i] = b.Dot(it.VA, it.VB)
+		default:
+			panic(invariant.Violation("circuit: unknown MulKind %d", it.Kind))
+		}
+	}
+	return out
+}
+
+// OpenBatch records one output gate per value and returns zeros.
+func (b *Builder) OpenBatch(vals []bgw.Val) []int64 {
+	for _, v := range vals {
+		b.OpenIdx(v)
+	}
+	return make([]int64, len(vals))
+}
+
+// OpenVec records a vector output gate and returns zeros. Use
+// OpenVecIdx to keep the index into Result.OpenedVec.
+func (b *Builder) OpenVec(v bgw.Vec) []int64 {
+	b.OpenVecIdx(v)
+	return make([]int64, b.vec(v).n)
+}
+
+// FromScalars records the packing of scalars into a vector.
+func (b *Builder) FromScalars(xs []bgw.Val) bgw.Vec {
+	args := make([]int, len(xs))
+	for i := range xs {
+		args[i] = b.val(xs[i])
+	}
+	return Vec{b: b, id: b.add(node{kind: kFromScalars, args: args, n: len(xs)}), n: len(xs)}
+}
+
+var _ bgw.Evaluator = (*Builder)(nil)

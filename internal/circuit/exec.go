@@ -1,0 +1,240 @@
+package circuit
+
+import (
+	"fmt"
+
+	"sqm/internal/bgw"
+	"sqm/internal/invariant"
+)
+
+// Bindings supplies a plan's parameters for one execution, each slice
+// indexed by declaration order: Consts for ConstParam, Inputs for
+// InputParam, InputVecs for InputVecParam, Ext/ExtVecs for engine
+// handles declared with ExtVal/ExtVec (they must come from the engine
+// the plan executes on).
+type Bindings struct {
+	Consts    []int64
+	Inputs    []int64
+	InputVecs [][]int64
+	Ext       []bgw.Val
+	ExtVecs   []bgw.Vec
+}
+
+// ExecOptions tunes one execution.
+type ExecOptions struct {
+	// Eager disables level batching: every multiplicative gate runs as
+	// its own dispatch and its own communication round, reproducing the
+	// pre-scheduler behaviour for comparison benchmarks.
+	Eager bool
+}
+
+// Result holds one execution's outputs: the opened values in gate
+// record order plus every node's engine handle (for plans that produce
+// persistent shares consumed by later plans).
+type Result struct {
+	plan       *Plan
+	vals       []bgw.Val
+	vecs       []bgw.Vec
+	opened     []int64
+	openedVecs [][]int64
+}
+
+// Opened returns the k-th scalar output (the index OpenIdx returned).
+func (r *Result) Opened(k int) int64 { return r.opened[k] }
+
+// OpenedVec returns the k-th vector output.
+func (r *Result) OpenedVec(k int) []int64 { return r.openedVecs[k] }
+
+// ValOf returns the engine handle the execution produced for a
+// recorded scalar, for use as an ExtVal binding of a later plan.
+func (r *Result) ValOf(h bgw.Val) bgw.Val {
+	v, ok := h.(Val)
+	if !ok {
+		panic(invariant.Violation("circuit: ValOf needs a circuit handle"))
+	}
+	return r.vals[v.id]
+}
+
+// VecOf returns the engine handle for a recorded vector.
+func (r *Result) VecOf(h bgw.Vec) bgw.Vec {
+	v, ok := h.(Vec)
+	if !ok {
+		panic(invariant.Violation("circuit: VecOf needs a circuit handle"))
+	}
+	return r.vecs[v.id]
+}
+
+// validate checks the bindings against the plan's parameter counts.
+func (p *Plan) validate(bind Bindings) error {
+	if len(bind.Consts) != p.nConsts {
+		return fmt.Errorf("circuit: plan wants %d const params, got %d", p.nConsts, len(bind.Consts))
+	}
+	if len(bind.Inputs) != p.nInputs {
+		return fmt.Errorf("circuit: plan wants %d input params, got %d", p.nInputs, len(bind.Inputs))
+	}
+	if len(bind.InputVecs) != p.nInputVecs {
+		return fmt.Errorf("circuit: plan wants %d input-vec params, got %d", p.nInputVecs, len(bind.InputVecs))
+	}
+	if len(bind.Ext) != p.nExt {
+		return fmt.Errorf("circuit: plan wants %d external values, got %d", p.nExt, len(bind.Ext))
+	}
+	if len(bind.ExtVecs) != p.nExtVecs {
+		return fmt.Errorf("circuit: plan wants %d external vectors, got %d", p.nExtVecs, len(bind.ExtVecs))
+	}
+	return nil
+}
+
+// Execute runs the plan against eng with level batching: all inputs
+// share in one round, each multiplicative level runs as one batched
+// degree-reduction round, and all outputs open in one batched round —
+// Stats.Rounds advances by exactly Plan.Rounds().
+func (p *Plan) Execute(eng bgw.Evaluator, bind Bindings) (*Result, error) {
+	return p.ExecuteOpts(eng, bind, ExecOptions{})
+}
+
+// ExecuteOpts runs the plan with explicit options.
+func (p *Plan) ExecuteOpts(eng bgw.Evaluator, bind Bindings, opts ExecOptions) (*Result, error) {
+	if err := p.validate(bind); err != nil {
+		return nil, err
+	}
+	r := &Result{
+		plan: p,
+		vals: make([]bgw.Val, len(p.nodes)),
+		vecs: make([]bgw.Vec, len(p.nodes)),
+	}
+	// Level 0: inputs, external bindings and their linear closure.
+	for _, id := range p.locals[0] {
+		if err := p.evalLocal(eng, bind, r, id); err != nil {
+			return nil, err
+		}
+	}
+	if p.hasInputs {
+		eng.AdvanceRound()
+	}
+	for lvl := 1; lvl <= p.depth; lvl++ {
+		gates := p.muls[lvl-1]
+		if opts.Eager {
+			for _, id := range gates {
+				n := &p.nodes[id]
+				switch n.kind {
+				case kMul:
+					r.vals[id] = eng.Mul(r.vals[n.a], r.vals[n.b])
+				case kInner:
+					as, bs := gather(r.vals, n.args), gather(r.vals, n.args2)
+					r.vals[id] = eng.InnerProduct(as, bs)
+				case kDot:
+					r.vals[id] = eng.Dot(r.vecs[n.a], r.vecs[n.b])
+				}
+				eng.AdvanceRound()
+			}
+		} else {
+			items := make([]bgw.MulItem, len(gates))
+			for i, id := range gates {
+				n := &p.nodes[id]
+				switch n.kind {
+				case kMul:
+					items[i] = bgw.MulItem{Kind: bgw.MulScalar, A: r.vals[n.a], B: r.vals[n.b]}
+				case kInner:
+					items[i] = bgw.MulItem{Kind: bgw.MulInner, As: gather(r.vals, n.args), Bs: gather(r.vals, n.args2)}
+				case kDot:
+					items[i] = bgw.MulItem{Kind: bgw.MulDot, VA: r.vecs[n.a], VB: r.vecs[n.b]}
+				}
+			}
+			for i, out := range eng.MulBatch(items) {
+				r.vals[gates[i]] = out
+			}
+			eng.AdvanceRound()
+		}
+		for _, id := range p.locals[lvl] {
+			if err := p.evalLocal(eng, bind, r, id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.hasOpens() {
+		if opts.Eager {
+			r.opened = make([]int64, len(p.opens))
+			for i, id := range p.opens {
+				r.opened[i] = eng.Open(r.vals[p.nodes[id].a])
+			}
+		} else if len(p.opens) > 0 {
+			vals := make([]bgw.Val, len(p.opens))
+			for i, id := range p.opens {
+				vals[i] = r.vals[p.nodes[id].a]
+			}
+			r.opened = eng.OpenBatch(vals)
+		}
+		r.openedVecs = make([][]int64, len(p.openVecs))
+		for i, id := range p.openVecs {
+			r.openedVecs[i] = eng.OpenVec(r.vecs[p.nodes[id].a])
+		}
+		eng.AdvanceRound()
+	}
+	return r, nil
+}
+
+// evalLocal materializes one leaf or linear node on the engine.
+func (p *Plan) evalLocal(eng bgw.Evaluator, bind Bindings, r *Result, id int) error {
+	n := &p.nodes[id]
+	switch n.kind {
+	case kZero:
+		r.vals[id] = eng.Zero()
+	case kInput:
+		r.vals[id] = eng.Input(n.owner, n.c)
+	case kInputElem:
+		r.vals[id] = eng.InputElem(n.owner, n.elem)
+	case kInputVec:
+		r.vecs[id] = eng.InputVec(n.owner, n.ints)
+	case kInputParam:
+		r.vals[id] = eng.Input(n.owner, bind.Inputs[n.param])
+	case kInputVecParam:
+		vs := bind.InputVecs[n.param]
+		if len(vs) != n.n {
+			return fmt.Errorf("circuit: input-vec param %d has %d elements, plan wants %d", n.param, len(vs), n.n)
+		}
+		r.vecs[id] = eng.InputVec(n.owner, vs)
+	case kExtVal:
+		if bind.Ext[n.param] == nil {
+			return fmt.Errorf("circuit: external value %d unbound", n.param)
+		}
+		r.vals[id] = bind.Ext[n.param]
+	case kExtVec:
+		v := bind.ExtVecs[n.param]
+		if v == nil {
+			return fmt.Errorf("circuit: external vector %d unbound", n.param)
+		}
+		if v.Len() != n.n {
+			return fmt.Errorf("circuit: external vector %d has %d elements, plan wants %d", n.param, v.Len(), n.n)
+		}
+		r.vecs[id] = v
+	case kAdd:
+		r.vals[id] = eng.Add(r.vals[n.a], r.vals[n.b])
+	case kSub:
+		r.vals[id] = eng.Sub(r.vals[n.a], r.vals[n.b])
+	case kAddConst:
+		r.vals[id] = eng.AddConst(r.vals[n.a], n.c)
+	case kMulConst:
+		r.vals[id] = eng.MulConst(r.vals[n.a], n.c)
+	case kAddConstP:
+		r.vals[id] = eng.AddConst(r.vals[n.a], bind.Consts[n.param])
+	case kMulConstP:
+		r.vals[id] = eng.MulConst(r.vals[n.a], bind.Consts[n.param])
+	case kAt:
+		r.vals[id] = eng.At(r.vecs[n.a], n.k)
+	case kAddVec:
+		r.vecs[id] = eng.AddVec(r.vecs[n.a], r.vecs[n.b])
+	case kFromScalars:
+		r.vecs[id] = eng.FromScalars(gather(r.vals, n.args))
+	default:
+		return fmt.Errorf("circuit: node %d kind %d is not local", id, n.kind)
+	}
+	return nil
+}
+
+func gather(vals []bgw.Val, ids []int) []bgw.Val {
+	out := make([]bgw.Val, len(ids))
+	for i, id := range ids {
+		out[i] = vals[id]
+	}
+	return out
+}

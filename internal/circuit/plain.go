@@ -1,0 +1,108 @@
+package circuit
+
+import (
+	"fmt"
+
+	"sqm/internal/field"
+)
+
+// Plain evaluates the plan directly over field elements — no sharing,
+// no communication. Because BGW computes exactly, the opened values are
+// bit-identical to every MPC execution of the same plan; this is the
+// differential-testing oracle and the fast path for utility
+// experiments. Plans with external bindings (ExtVal/ExtVec) cannot run
+// plain: those handles are engine share state.
+func (p *Plan) Plain(bind Bindings) (*Result, error) {
+	if p.nExt > 0 || p.nExtVecs > 0 {
+		return nil, fmt.Errorf("circuit: plan has %d external bindings; Plain needs a self-contained circuit", p.nExt+p.nExtVecs)
+	}
+	if err := p.validate(bind); err != nil {
+		return nil, err
+	}
+	vals := make([]field.Elem, len(p.nodes))
+	vecs := make([][]field.Elem, len(p.nodes))
+	r := &Result{plan: p}
+	for id := range p.nodes {
+		n := &p.nodes[id]
+		switch n.kind {
+		case kZero:
+			vals[id] = 0
+		case kInput:
+			vals[id] = field.FromInt64(n.c)
+		case kInputElem:
+			vals[id] = n.elem
+		case kInputVec:
+			v := make([]field.Elem, len(n.ints))
+			for k, x := range n.ints {
+				v[k] = field.FromInt64(x)
+			}
+			vecs[id] = v
+		case kInputParam:
+			vals[id] = field.FromInt64(bind.Inputs[n.param])
+		case kInputVecParam:
+			vs := bind.InputVecs[n.param]
+			if len(vs) != n.n {
+				return nil, fmt.Errorf("circuit: input-vec param %d has %d elements, plan wants %d", n.param, len(vs), n.n)
+			}
+			v := make([]field.Elem, len(vs))
+			for k, x := range vs {
+				v[k] = field.FromInt64(x)
+			}
+			vecs[id] = v
+		case kAdd:
+			vals[id] = field.Add(vals[n.a], vals[n.b])
+		case kSub:
+			vals[id] = field.Sub(vals[n.a], vals[n.b])
+		case kAddConst:
+			vals[id] = field.Add(vals[n.a], field.FromInt64(n.c))
+		case kMulConst:
+			vals[id] = field.Mul(vals[n.a], field.FromInt64(n.c))
+		case kAddConstP:
+			vals[id] = field.Add(vals[n.a], field.FromInt64(bind.Consts[n.param]))
+		case kMulConstP:
+			vals[id] = field.Mul(vals[n.a], field.FromInt64(bind.Consts[n.param]))
+		case kMul:
+			vals[id] = field.Mul(vals[n.a], vals[n.b])
+		case kInner:
+			var acc field.Elem
+			for i := range n.args {
+				acc = field.Add(acc, field.Mul(vals[n.args[i]], vals[n.args2[i]]))
+			}
+			vals[id] = acc
+		case kDot:
+			va, vb := vecs[n.a], vecs[n.b]
+			var acc field.Elem
+			for k := range va {
+				acc = field.Add(acc, field.Mul(va[k], vb[k]))
+			}
+			vals[id] = acc
+		case kAt:
+			vals[id] = vecs[n.a][n.k]
+		case kAddVec:
+			va, vb := vecs[n.a], vecs[n.b]
+			out := make([]field.Elem, len(va))
+			for k := range out {
+				out[k] = field.Add(va[k], vb[k])
+			}
+			vecs[id] = out
+		case kFromScalars:
+			out := make([]field.Elem, len(n.args))
+			for k, op := range n.args {
+				out[k] = vals[op]
+			}
+			vecs[id] = out
+		case kOpen:
+			r.opened = append(r.opened, field.ToInt64(vals[n.a]))
+		case kOpenVec:
+			src := vecs[n.a]
+			out := make([]int64, len(src))
+			for k, v := range src {
+				out[k] = field.ToInt64(v)
+			}
+			r.openedVecs = append(r.openedVecs, out)
+		default:
+			return nil, fmt.Errorf("circuit: unknown node kind %d", n.kind)
+		}
+	}
+	return r, nil
+}

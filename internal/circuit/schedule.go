@@ -1,0 +1,161 @@
+package circuit
+
+import (
+	"fmt"
+
+	"sqm/internal/invariant"
+)
+
+// Plan is a compiled, level-scheduled circuit. It is immutable and
+// engine-agnostic: the same plan executes against the monolithic
+// engine, the actor engine, or the plain interpreter, with outputs
+// bit-identical across all of them.
+type Plan struct {
+	p, t  int
+	nodes []node
+
+	depth    int
+	muls     [][]int // muls[L] = multiplicative gates of level L+1, id order
+	locals   [][]int // locals[L] = non-mul compute nodes of level L, id order
+	opens    []int   // kOpen ids in record order
+	openVecs []int   // kOpenVec ids in record order
+
+	nConsts, nInputs, nInputVecs, nExt, nExtVecs int
+	hasInputs                                    bool
+}
+
+// Compile levels the recorded DAG by multiplicative depth and returns
+// the execution plan. The leveling rule: inputs, external bindings and
+// constants sit at level 0; local (linear) operations inherit the
+// maximum level of their operands; multiplicative gates (Mul,
+// InnerProduct, Dot) take the maximum operand level plus one. All
+// gates of a level are independent by construction and execute as one
+// batched communication round.
+func (b *Builder) Compile() (*Plan, error) {
+	p := &Plan{
+		p: b.p, t: b.t,
+		nodes:    append([]node(nil), b.nodes...),
+		opens:    append([]int(nil), b.opens...),
+		openVecs: append([]int(nil), b.openVecs...),
+		nConsts:  b.nConsts, nInputs: b.nInputs, nInputVecs: b.nInputVecs,
+		nExt: b.nExt, nExtVecs: b.nExtVecs,
+	}
+	for id := range p.nodes {
+		n := &p.nodes[id]
+		lvl := 0
+		max := func(op int) {
+			if op < 0 || op >= id {
+				// Record order is topological; a forward reference is a
+				// corrupted handle.
+				panic(invariant.Violation("circuit: node %d references %d out of order", id, op))
+			}
+			if l := p.nodes[op].level; l > lvl {
+				lvl = l
+			}
+		}
+		switch n.kind {
+		case kZero, kInput, kInputElem, kInputVec, kInputParam, kInputVecParam, kExtVal, kExtVec:
+			// leaves: level 0
+		case kAdd, kSub, kAddVec, kMul, kDot:
+			max(n.a)
+			max(n.b)
+		case kAddConst, kMulConst, kAddConstP, kMulConstP, kAt, kOpen, kOpenVec:
+			max(n.a)
+		case kInner, kFromScalars:
+			for _, op := range n.args {
+				max(op)
+			}
+			for _, op := range n.args2 {
+				max(op)
+			}
+		default:
+			return nil, fmt.Errorf("circuit: unknown node kind %d", n.kind)
+		}
+		if n.kind.isMul() {
+			lvl++
+		}
+		n.level = lvl
+		if n.kind.isInput() {
+			p.hasInputs = true
+		}
+		if lvl > p.depth {
+			p.depth = lvl
+		}
+	}
+	p.muls = make([][]int, p.depth)
+	p.locals = make([][]int, p.depth+1)
+	for id := range p.nodes {
+		n := &p.nodes[id]
+		switch {
+		case n.kind == kOpen || n.kind == kOpenVec:
+			// outputs run in the final opening round, already listed
+		case n.kind.isMul():
+			p.muls[n.level-1] = append(p.muls[n.level-1], id)
+		default:
+			p.locals[n.level] = append(p.locals[n.level], id)
+		}
+	}
+	return p, nil
+}
+
+// MustCompile is Compile for statically known-good circuits.
+func (b *Builder) MustCompile() *Plan {
+	p, err := b.Compile()
+	if err != nil {
+		panic(invariant.Violation("circuit: %v", err))
+	}
+	return p
+}
+
+// Depth returns the circuit's multiplicative depth.
+func (p *Plan) Depth() int { return p.depth }
+
+// Gates returns the total node count of the IR.
+func (p *Plan) Gates() int { return len(p.nodes) }
+
+// MulGates returns the number of multiplicative gates (each costs one
+// degree-reduction resharing; eager execution pays one round per gate).
+func (p *Plan) MulGates() int {
+	n := 0
+	for _, lvl := range p.muls {
+		n += len(lvl)
+	}
+	return n
+}
+
+// Opens returns the number of scalar output gates.
+func (p *Plan) Opens() int { return len(p.opens) }
+
+// hasOpens reports whether the plan ends with an opening round.
+func (p *Plan) hasOpens() bool { return len(p.opens) > 0 || len(p.openVecs) > 0 }
+
+// Rounds returns the wire rounds of one planned execution: one input
+// round (when the plan shares fresh inputs), one batched round per
+// multiplicative level, and one batched opening round (when the plan
+// reveals outputs). This is the quantity the paper's cost model charges
+// 0.1 s for — planned execution makes it a function of depth, not of
+// gate count.
+func (p *Plan) Rounds() int {
+	r := p.depth
+	if p.hasInputs {
+		r++
+	}
+	if p.hasOpens() {
+		r++
+	}
+	return r
+}
+
+// EagerRounds returns the wire rounds of gate-by-gate execution (one
+// round per multiplicative gate), the baseline the scheduler improves
+// on.
+func (p *Plan) EagerRounds() int {
+	r := p.MulGates()
+	if p.hasInputs {
+		r++
+	}
+	if p.hasOpens() {
+		r++
+	}
+	return r
+}

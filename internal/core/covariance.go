@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/bgw"
+	"sqm/internal/circuit"
 	"sqm/internal/linalg"
 	"sqm/internal/quant"
 	"sqm/internal/randx"
@@ -140,20 +141,17 @@ func plainCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, mu float64, p
 }
 
 // mpcCovariance runs the same computation over secret shares with the
-// selected Evaluator backend: one input round, one batched
-// inner-product round (fused gates, one resharing per Gram entry), one
-// opening round. Noise shares enter during the input round and are
-// aggregated locally.
+// selected Evaluator backend, recorded as a level-scheduled plan: one
+// input round (data + noise), one batched inner-product round (all
+// fused gates in a single reshare exchange), one batched opening
+// round. Noise shares enter during the input round and are aggregated
+// locally.
 func mpcCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, p *Params, pairs int, tr *Trace) ([]int64, error) {
-	eng, err := p.newEvaluator(0x51c0)
-	if err != nil {
-		return nil, err
-	}
-	defer eng.Close()
 	n := qd.Cols
+	b := circuit.NewBuilder(p.Parties, p.Threshold)
 	cols := make([]bgw.Vec, n)
 	for j := 0; j < n; j++ {
-		cols[j] = eng.InputVec(p.partyOf(p.clientOf(j, n)), qd.Col(j))
+		cols[j] = b.InputVec(p.partyOf(p.clientOf(j, n)), qd.Col(j))
 	}
 	// Noise: every client samples and inputs its share vector; the
 	// aggregation is local addition of share vectors.
@@ -161,33 +159,43 @@ func mpcCovariance(qd *quant.IntMatrix, clientRNGs []*randx.RNG, p *Params, pair
 	share := p.Mu / float64(len(clientRNGs))
 	var noiseAcc bgw.Vec
 	for j, g := range clientRNGs {
-		v := eng.InputVec(p.partyOf(j), g.SkellamVec(pairs, share))
+		v := b.InputVec(p.partyOf(j), g.SkellamVec(pairs, share))
 		if noiseAcc == nil {
 			noiseAcc = v
 		} else {
-			noiseAcc = eng.AddVec(noiseAcc, v)
+			noiseAcc = b.AddVec(noiseAcc, v)
 		}
 	}
 	tr.NoiseCompute += time.Since(noiseStart)
 	tr.NoiseRounds++
-	eng.AdvanceRound() // input round (data + noise)
 
 	pairList := make([]bgw.VecPair, pairs)
 	idx := 0
 	for a := 0; a < n; a++ {
-		for b := a; b < n; b++ {
-			pairList[idx] = bgw.VecPair{A: cols[a], B: cols[b]}
+		for c := a; c < n; c++ {
+			pairList[idx] = bgw.VecPair{A: cols[a], B: cols[c]}
 			idx++
 		}
 	}
-	dots := eng.DotBatch(pairList, 0)
-	eng.AdvanceRound() // fused multiplication round
-	result := eng.AddVec(eng.FromScalars(dots), noiseAcc)
-	upper := eng.OpenVec(result)
-	eng.AdvanceRound() // output round
+	dots := b.DotBatch(pairList, 0)
+	outIdx := b.OpenVecIdx(b.AddVec(b.FromScalars(dots), noiseAcc))
+	plan, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+
+	eng, err := p.newEvaluator(0x51c0)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	res, err := plan.Execute(eng, circuit.Bindings{})
+	if err != nil {
+		return nil, err
+	}
 	if err := eng.Err(); err != nil {
 		return nil, err
 	}
 	tr.Stats = eng.Stats()
-	return upper, nil
+	return res.OpenedVec(outIdx), nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/bgw"
+	"sqm/internal/circuit"
 	"sqm/internal/linalg"
 	"sqm/internal/mathx"
 	"sqm/internal/quant"
@@ -39,6 +40,17 @@ type LRProtocol struct {
 	featShares []bgw.Vec
 	labShares  bgw.Vec
 	setupStats bgw.Stats
+
+	// Compiled gradient plans keyed by batch size: the circuit shape
+	// depends only on |batch| and d, so each shape compiles once and
+	// re-executes every round with fresh bindings.
+	plans map[int]*lrPlan
+}
+
+// lrPlan is one compiled gradient circuit plus its output indices.
+type lrPlan struct {
+	plan   *circuit.Plan
+	outIdx []int
 }
 
 // NewLRProtocol quantizes and (for EngineBGW) shares the training data.
@@ -75,12 +87,31 @@ func NewLRProtocol(features *linalg.Matrix, labels []float64, p Params) (*LRProt
 			return nil, err
 		}
 		lr.eng = eng
+		lr.plans = make(map[int]*lrPlan)
+		// The one-time data-sharing phase is its own single-round plan;
+		// the column handles it produces persist inside the engine and
+		// feed every gradient plan through external bindings.
+		sb := circuit.NewBuilder(p.Parties, p.Threshold)
+		featH := make([]bgw.Vec, lr.d)
+		for j := 0; j < lr.d; j++ {
+			featH[j] = sb.InputVec(p.partyOf(p.clientOf(j, lr.d+1)), lr.feat.Col(j))
+		}
+		labH := sb.InputVec(p.partyOf(labelClient), lr.lab)
+		setupPlan, err := sb.Compile()
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		sres, err := setupPlan.Execute(eng, circuit.Bindings{})
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
 		lr.featShares = make([]bgw.Vec, lr.d)
 		for j := 0; j < lr.d; j++ {
-			lr.featShares[j] = eng.InputVec(p.partyOf(p.clientOf(j, lr.d+1)), lr.feat.Col(j))
+			lr.featShares[j] = sres.VecOf(featH[j])
 		}
-		lr.labShares = eng.InputVec(p.partyOf(labelClient), lr.lab)
-		eng.AdvanceRound() // data input round (once per training run)
+		lr.labShares = sres.VecOf(labH)
 		lr.setupStats = eng.Stats()
 		if err := eng.Err(); err != nil {
 			eng.Close()
@@ -195,63 +226,122 @@ func (lr *LRProtocol) plainGradient(wq []int64, qHalf int64, batch []int, noise 
 	return grad
 }
 
-// mpcGradient runs one SGD round over secret shares: the public weights
-// fold in locally, one fused inner product per coordinate (batched into
-// a single resharing round), noise input round, output round.
-func (lr *LRProtocol) mpcGradient(wq []int64, qHalf int64, batch []int, noise [][]int64, tr *Trace) ([]int64, error) {
-	eng := lr.eng
-	before := eng.Stats()
+// gradientPlan compiles (and caches) the gradient circuit for a batch
+// of B records: the public coefficients enter as const parameters, the
+// batch's feature and label shares as external bindings, the per-client
+// noise shares as input parameters. Depth 1 (one fused inner product
+// per coordinate), so the plan runs in exactly three wire rounds —
+// noise input, batched resharing, batched output — for any B.
+func (lr *LRProtocol) gradientPlan(B int) *lrPlan {
+	if pl, ok := lr.plans[B]; ok {
+		return pl
+	}
+	p := lr.p
+	b := circuit.NewBuilder(p.Parties, p.Threshold)
+	wqP := make([]circuit.ConstID, lr.d)
+	for j := range wqP {
+		wqP[j] = b.ConstParam()
+	}
+	qHalfP := b.ConstParam()
 
-	// u_i = qHalf + Σ_j ŵ_j x̂_{ij} − γ·ŷ_i, local per record.
-	us := make([]bgw.Val, len(batch))
-	for bi, i := range batch {
-		acc := eng.Zero()
+	// External bindings, in batch order: d feature shares then the
+	// label share of each record.
+	feats := make([][]bgw.Val, B)
+	labs := make([]bgw.Val, B)
+	for bi := 0; bi < B; bi++ {
+		feats[bi] = make([]bgw.Val, lr.d)
 		for j := 0; j < lr.d; j++ {
-			if wq[j] == 0 {
-				continue
-			}
-			acc = eng.Add(acc, eng.MulConst(eng.At(lr.featShares[j], i), wq[j]))
+			feats[bi][j] = b.ExtVal()
 		}
-		acc = eng.Sub(acc, eng.MulConst(eng.At(lr.labShares, i), lr.gammaInt))
-		us[bi] = eng.AddConst(acc, qHalf)
+		labs[bi] = b.ExtVal()
 	}
 
-	// Noise shares enter in their own round and aggregate locally.
-	noiseStart := time.Now()
+	// Per-client noise share parameters, coordinate-major.
 	noiseShared := make([]bgw.Val, lr.d)
 	for t := 0; t < lr.d; t++ {
-		acc := eng.Zero()
-		for j, shares := range noise {
-			acc = eng.Add(acc, eng.Input(lr.p.partyOf(j), shares[t]))
+		acc := b.Zero()
+		for j := 0; j < p.NumClients; j++ {
+			acc = b.Add(acc, b.InputParam(p.partyOf(j)))
 		}
 		noiseShared[t] = acc
 	}
+
+	// u_i = qHalf + Σ_j ŵ_j x̂_{ij} − γ·ŷ_i, local per record.
+	us := make([]bgw.Val, B)
+	for bi := 0; bi < B; bi++ {
+		acc := b.Zero()
+		for j := 0; j < lr.d; j++ {
+			acc = b.Add(acc, b.MulConstP(feats[bi][j], wqP[j]))
+		}
+		acc = b.Sub(acc, b.MulConst(labs[bi], lr.gammaInt))
+		us[bi] = b.AddConstP(acc, qHalfP)
+	}
+
+	outIdx := make([]int, lr.d)
+	xs := make([]bgw.Val, B)
+	for t := 0; t < lr.d; t++ {
+		for bi := 0; bi < B; bi++ {
+			xs[bi] = feats[bi][t]
+		}
+		outIdx[t] = b.OpenIdx(b.Add(b.InnerProduct(xs, us), noiseShared[t]))
+	}
+	pl := &lrPlan{plan: b.MustCompile(), outIdx: outIdx}
+	lr.plans[B] = pl
+	return pl
+}
+
+// mpcGradient runs one SGD round over secret shares by executing the
+// compiled gradient plan: the public weights fold in locally, all fused
+// inner products reshare in a single batched round, and the round count
+// derives from the plan's depth.
+func (lr *LRProtocol) mpcGradient(wq []int64, qHalf int64, batch []int, noise [][]int64, tr *Trace) ([]int64, error) {
+	eng := lr.eng
+	before := eng.Stats()
+	pl := lr.gradientPlan(len(batch))
+
+	consts := make([]int64, 0, lr.d+1)
+	consts = append(consts, wq...)
+	consts = append(consts, qHalf)
+
+	// Gather the batch's feature and label handles; element extraction
+	// is local, so this costs no wire traffic.
+	ext := make([]bgw.Val, 0, len(batch)*(lr.d+1))
+	for _, i := range batch {
+		for j := 0; j < lr.d; j++ {
+			ext = append(ext, eng.At(lr.featShares[j], i))
+		}
+		ext = append(ext, eng.At(lr.labShares, i))
+	}
+
+	noiseStart := time.Now()
+	inputs := make([]int64, 0, lr.d*len(noise))
+	for t := 0; t < lr.d; t++ {
+		for _, shares := range noise {
+			inputs = append(inputs, shares[t])
+		}
+	}
 	tr.NoiseCompute += time.Since(noiseStart)
 	tr.NoiseRounds++
-	eng.AdvanceRound() // noise input round
 
-	scaled := make([]int64, lr.d)
-	xs := make([]bgw.Val, len(batch))
-	outs := make([]bgw.Val, lr.d)
-	for t := 0; t < lr.d; t++ {
-		for bi, i := range batch {
-			xs[bi] = eng.At(lr.featShares[t], i)
-		}
-		outs[t] = eng.Add(eng.InnerProduct(xs, us), noiseShared[t])
+	res, err := pl.plan.Execute(eng, circuit.Bindings{Consts: consts, Inputs: inputs, Ext: ext})
+	if err != nil {
+		return nil, err
 	}
-	eng.AdvanceRound() // fused multiplication round
-	for t, s := range outs {
-		scaled[t] = eng.Open(s)
-	}
-	eng.AdvanceRound() // output round
 	if err := eng.Err(); err != nil {
 		return nil, err
+	}
+
+	scaled := make([]int64, lr.d)
+	for t := range scaled {
+		scaled[t] = res.Opened(pl.outIdx[t])
 	}
 
 	after := eng.Stats()
 	tr.Stats = bgw.Stats{
 		Rounds:   after.Rounds - before.Rounds,
+		Frames:   after.Frames - before.Frames,
 		Messages: after.Messages - before.Messages,
+		Bytes:    after.Bytes - before.Bytes,
 		FieldOps: after.FieldOps - before.FieldOps,
 	}
 	return scaled, nil

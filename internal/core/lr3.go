@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/bgw"
+	"sqm/internal/circuit"
 	"sqm/internal/linalg"
 	"sqm/internal/mathx"
 	"sqm/internal/randx"
@@ -43,6 +44,9 @@ type LR3Protocol struct {
 	eng        bgw.Evaluator
 	featShares []bgw.Vec
 	labShares  bgw.Vec
+
+	// Compiled gradient plans keyed by batch size (see LRProtocol).
+	plans map[int]*lrPlan
 }
 
 // IntMatrixView aliases the quantized feature storage to avoid exposing
@@ -120,12 +124,28 @@ func NewLR3Protocol(features *linalg.Matrix, labels []float64, p Params, precisi
 			return nil, err
 		}
 		lr.eng = eng
+		lr.plans = make(map[int]*lrPlan)
+		sb := circuit.NewBuilder(p.Parties, p.Threshold)
+		featH := make([]bgw.Vec, lr.d)
+		for j := 0; j < lr.d; j++ {
+			featH[j] = sb.InputVec(p.partyOf(p.clientOf(j, lr.d+1)), lr.feat.Col(j))
+		}
+		labH := sb.InputVec(p.partyOf(labelClient), lr.lab)
+		setupPlan, err := sb.Compile()
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		sres, err := setupPlan.Execute(eng, circuit.Bindings{})
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
 		lr.featShares = make([]bgw.Vec, lr.d)
 		for j := 0; j < lr.d; j++ {
-			lr.featShares[j] = eng.InputVec(p.partyOf(p.clientOf(j, lr.d+1)), lr.feat.Col(j))
+			lr.featShares[j] = sres.VecOf(featH[j])
 		}
-		lr.labShares = eng.InputVec(p.partyOf(labelClient), lr.lab)
-		eng.AdvanceRound()
+		lr.labShares = sres.VecOf(labH)
 		if err := eng.Err(); err != nil {
 			eng.Close()
 			return nil, err
@@ -251,71 +271,125 @@ func (lr *LR3Protocol) plainGradient(wq, wc []int64, qHalf, labelCoef int64, bat
 	return grad
 }
 
-func (lr *LR3Protocol) mpcGradient(wq, wc []int64, qHalf, labelCoef int64, batch []int, noise [][]int64, tr *Trace) ([]int64, error) {
-	eng := lr.eng
-	before := eng.Stats()
-	// u_i: local folds for the public-coefficient parts; two resharing
-	// rounds for the cube c³.
-	cs := make([]bgw.Val, len(batch))
-	lins := make([]bgw.Val, len(batch))
-	for bi, i := range batch {
-		s2 := eng.Zero()
-		c := eng.Zero()
-		for j := 0; j < lr.d; j++ {
-			xj := eng.At(lr.featShares[j], i)
-			if wq[j] != 0 {
-				s2 = eng.Add(s2, eng.MulConst(xj, wq[j]))
-			}
-			if wc[j] != 0 {
-				c = eng.Add(c, eng.MulConst(xj, wc[j]))
-			}
-		}
-		lin := eng.Sub(s2, eng.MulConst(eng.At(lr.labShares, i), labelCoef))
-		lins[bi] = eng.AddConst(lin, qHalf)
-		cs[bi] = c
+// gradientPlan compiles (and caches) the order-3 gradient circuit for
+// a batch of B records. The cube c³ gives multiplicative depth 3
+// (square, cube, fused inner product), so the plan always runs in five
+// wire rounds — input, three batched resharing levels, output —
+// independent of B.
+func (lr *LR3Protocol) gradientPlan(B int) *lrPlan {
+	if pl, ok := lr.plans[B]; ok {
+		return pl
 	}
-	sq := make([]bgw.Val, len(batch))
-	for bi := range batch {
-		sq[bi] = eng.Mul(cs[bi], cs[bi])
+	p := lr.p
+	b := circuit.NewBuilder(p.Parties, p.Threshold)
+	wqP := make([]circuit.ConstID, lr.d)
+	wcP := make([]circuit.ConstID, lr.d)
+	for j := 0; j < lr.d; j++ {
+		wqP[j] = b.ConstParam()
 	}
-	eng.AdvanceRound() // first cube round
-	us := make([]bgw.Val, len(batch))
-	for bi := range batch {
-		us[bi] = eng.Sub(lins[bi], eng.Mul(sq[bi], cs[bi]))
+	for j := 0; j < lr.d; j++ {
+		wcP[j] = b.ConstParam()
 	}
-	eng.AdvanceRound() // second cube round
+	qHalfP := b.ConstParam()
+	// labelCoef = k³γ³ depends only on protocol parameters, so it is a
+	// literal rather than a parameter.
+	labelCoef := int64(float64(lr.k*lr.k*lr.k) * math.Pow(lr.p.Gamma, 3))
 
-	noiseStart := time.Now()
+	feats := make([][]bgw.Val, B)
+	labs := make([]bgw.Val, B)
+	for bi := 0; bi < B; bi++ {
+		feats[bi] = make([]bgw.Val, lr.d)
+		for j := 0; j < lr.d; j++ {
+			feats[bi][j] = b.ExtVal()
+		}
+		labs[bi] = b.ExtVal()
+	}
+
 	noiseShared := make([]bgw.Val, lr.d)
 	for t := 0; t < lr.d; t++ {
-		acc := eng.Zero()
-		for j, shares := range noise {
-			acc = eng.Add(acc, eng.Input(lr.p.partyOf(j), shares[t]))
+		acc := b.Zero()
+		for j := 0; j < p.NumClients; j++ {
+			acc = b.Add(acc, b.InputParam(p.partyOf(j)))
 		}
 		noiseShared[t] = acc
 	}
+
+	// u_i = qHalf + Σ_j ŵ_j x̂_{ij} − c_i³ − k³γ³·ŷ_i with
+	// c_i = Σ_j ŵc_j x̂_{ij}; the linear parts fold locally, the cube
+	// costs two multiplication levels.
+	us := make([]bgw.Val, B)
+	for bi := 0; bi < B; bi++ {
+		s2 := b.Zero()
+		c := b.Zero()
+		for j := 0; j < lr.d; j++ {
+			s2 = b.Add(s2, b.MulConstP(feats[bi][j], wqP[j]))
+			c = b.Add(c, b.MulConstP(feats[bi][j], wcP[j]))
+		}
+		lin := b.AddConstP(b.Sub(s2, b.MulConst(labs[bi], labelCoef)), qHalfP)
+		cube := b.Mul(b.Mul(c, c), c)
+		us[bi] = b.Sub(lin, cube)
+	}
+
+	outIdx := make([]int, lr.d)
+	xs := make([]bgw.Val, B)
+	for t := 0; t < lr.d; t++ {
+		for bi := 0; bi < B; bi++ {
+			xs[bi] = feats[bi][t]
+		}
+		outIdx[t] = b.OpenIdx(b.Add(b.InnerProduct(xs, us), noiseShared[t]))
+	}
+	pl := &lrPlan{plan: b.MustCompile(), outIdx: outIdx}
+	lr.plans[B] = pl
+	return pl
+}
+
+func (lr *LR3Protocol) mpcGradient(wq, wc []int64, qHalf, labelCoef int64, batch []int, noise [][]int64, tr *Trace) ([]int64, error) {
+	_ = labelCoef // baked into the plan as a protocol-level literal
+	eng := lr.eng
+	before := eng.Stats()
+	pl := lr.gradientPlan(len(batch))
+
+	consts := make([]int64, 0, 2*lr.d+1)
+	consts = append(consts, wq...)
+	consts = append(consts, wc...)
+	consts = append(consts, qHalf)
+
+	ext := make([]bgw.Val, 0, len(batch)*(lr.d+1))
+	for _, i := range batch {
+		for j := 0; j < lr.d; j++ {
+			ext = append(ext, eng.At(lr.featShares[j], i))
+		}
+		ext = append(ext, eng.At(lr.labShares, i))
+	}
+
+	noiseStart := time.Now()
+	inputs := make([]int64, 0, lr.d*len(noise))
+	for t := 0; t < lr.d; t++ {
+		for _, shares := range noise {
+			inputs = append(inputs, shares[t])
+		}
+	}
 	tr.NoiseCompute += time.Since(noiseStart)
 	tr.NoiseRounds++
-	eng.AdvanceRound() // noise input round
 
-	scaled := make([]int64, lr.d)
-	xs := make([]bgw.Val, len(batch))
-	for t := 0; t < lr.d; t++ {
-		for bi, i := range batch {
-			xs[bi] = eng.At(lr.featShares[t], i)
-		}
-		out := eng.Add(eng.InnerProduct(xs, us), noiseShared[t])
-		scaled[t] = eng.Open(out)
+	res, err := pl.plan.Execute(eng, circuit.Bindings{Consts: consts, Inputs: inputs, Ext: ext})
+	if err != nil {
+		return nil, err
 	}
-	eng.AdvanceRound() // fused multiplication round
-	eng.AdvanceRound() // output round
 	if err := eng.Err(); err != nil {
 		return nil, err
+	}
+
+	scaled := make([]int64, lr.d)
+	for t := range scaled {
+		scaled[t] = res.Opened(pl.outIdx[t])
 	}
 	after := eng.Stats()
 	tr.Stats = bgw.Stats{
 		Rounds:   after.Rounds - before.Rounds,
+		Frames:   after.Frames - before.Frames,
 		Messages: after.Messages - before.Messages,
+		Bytes:    after.Bytes - before.Bytes,
 		FieldOps: after.FieldOps - before.FieldOps,
 	}
 	return scaled, nil

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"sqm/internal/bgw"
 	"sqm/internal/linalg"
 	"sqm/internal/randx"
 )
@@ -201,5 +202,65 @@ func TestLR3SensitivityDominatesLeadingTerm(t *testing.T) {
 	}
 	if d1 > d2*d2+1 {
 		t.Fatalf("Delta1 = %v inconsistent with Delta2 = %v", d1, d2)
+	}
+}
+
+// TestLR3PlannedRoundsIndependentOfBatch is the scheduler's acceptance
+// gate on the cube circuit: for any batch size B, planned execution
+// over the actor engine must run exactly five wire rounds (input,
+// square, cube, fused inner product, output — i.e. multiplicative
+// depth plus input and output rounds) and the same number of frames,
+// because every level travels as one batched exchange. Outputs must
+// stay bit-identical to the plain engine.
+func TestLR3PlannedRoundsIndependentOfBatch(t *testing.T) {
+	x, y := lrTestData(16, 3, 9)
+	base := Params{Gamma: 16, Mu: 20, Seed: 23}
+	g := randx.New(29)
+	w := g.GaussianVec(3, 0.3)
+
+	run := func(kind EngineKind, parties int, batch []int) ([]int64, bgw.Stats) {
+		t.Helper()
+		p := base
+		p.Engine = kind
+		p.Parties = parties
+		proto, err := NewLR3Protocol(x, y, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer proto.Close()
+		_, tr, err := proto.GradientSum(w, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Scaled, tr.Stats
+	}
+
+	small := []int{1, 4}
+	large := []int{0, 2, 5, 7, 9, 11}
+
+	plainSmall, _ := run(EnginePlain, 0, small)
+	plainLarge, _ := run(EnginePlain, 0, large)
+	actorSmall, stSmall := run(EngineActorBGW, 4, small)
+	actorLarge, stLarge := run(EngineActorBGW, 4, large)
+
+	for d := range plainSmall {
+		if actorSmall[d] != plainSmall[d] {
+			t.Errorf("B=2 dim %d: actor %d != plain %d", d, actorSmall[d], plainSmall[d])
+		}
+		if actorLarge[d] != plainLarge[d] {
+			t.Errorf("B=6 dim %d: actor %d != plain %d", d, actorLarge[d], plainLarge[d])
+		}
+	}
+	if stSmall.Rounds != 5 || stLarge.Rounds != 5 {
+		t.Errorf("rounds: B=2 %d, B=6 %d, want 5 and 5", stSmall.Rounds, stLarge.Rounds)
+	}
+	if stSmall.Frames != stLarge.Frames {
+		t.Errorf("frames depend on batch size: B=2 %d, B=6 %d", stSmall.Frames, stLarge.Frames)
+	}
+	if stSmall.Frames == 0 {
+		t.Error("frames not metered")
+	}
+	if stSmall.Messages >= stLarge.Messages {
+		t.Errorf("logical messages should grow with B: B=2 %d, B=6 %d", stSmall.Messages, stLarge.Messages)
 	}
 }

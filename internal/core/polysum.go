@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/bgw"
+	"sqm/internal/circuit"
 	"sqm/internal/invariant"
 	"sqm/internal/linalg"
 	"sqm/internal/poly"
@@ -142,38 +143,35 @@ func plainPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, tr 
 }
 
 // mpcPolySum evaluates the quantized polynomial over secret shares with
-// whichever Evaluator backend p.Engine selects. All columns are shared
-// in one input round; each multiplication layer and the final opening
-// are single rounds of batched messages.
+// whichever Evaluator backend p.Engine selects. The circuit is recorded
+// into a level-scheduled plan: all columns share in one input round,
+// every multiplication level runs as one batched degree-reduction
+// round, and the outputs open in one batched round — rounds derive from
+// the compiled depth, not hand bookkeeping.
 func mpcPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Params, tr *Trace) ([]int64, error) {
 	if err := checkPolyBound(q, data, p.Mu); err != nil {
 		return nil, err
 	}
-	eng, err := p.newEvaluator(0xb6d5)
-	if err != nil {
-		return nil, err
-	}
-	defer eng.Close()
 	n, m := data.Cols, data.Rows
+	b := circuit.NewBuilder(p.Parties, p.Threshold)
 	cols := make([]bgw.Vec, n)
 	for j := 0; j < n; j++ {
 		owner := p.partyOf(p.clientOf(j, n))
-		cols[j] = eng.InputVec(owner, data.Col(j))
+		cols[j] = b.InputVec(owner, data.Col(j))
 	}
 	// Per-client noise shares are inputs of the same round.
 	noiseStart := time.Now()
 	d := q.Source.OutDim()
 	noiseShared := make([]bgw.Val, d)
 	for t := 0; t < d; t++ {
-		acc := eng.Zero()
+		acc := b.Zero()
 		for j, shares := range noise {
-			acc = eng.Add(acc, eng.Input(p.partyOf(j), shares[t]))
+			acc = b.Add(acc, b.Input(p.partyOf(j), shares[t]))
 		}
 		noiseShared[t] = acc
 	}
 	tr.NoiseCompute += time.Since(noiseStart)
 	tr.NoiseRounds++ // the noise inputs share the input round; attribute one round to DP
-	eng.AdvanceRound()
 
 	// Pre-compute column sums (local) for degree-1 monomials.
 	var colSum []bgw.Val
@@ -182,64 +180,72 @@ func mpcPolySum(q *poly.Quantized, data *quant.IntMatrix, noise [][]int64, p *Pa
 			colSum = make([]bgw.Val, n)
 		}
 		if colSum[j] == nil {
-			acc := eng.Zero()
+			acc := b.Zero()
 			for i := 0; i < m; i++ {
-				acc = eng.Add(acc, eng.At(cols[j], i))
+				acc = b.Add(acc, b.At(cols[j], i))
 			}
 			colSum[j] = acc
 		}
 		return colSum[j]
 	}
 
-	out := make([]bgw.Val, d)
-	mulLayers := 0
+	outIdx := make([]int, d)
 	for t, pol := range q.Source.Dims {
-		acc := eng.Zero()
+		acc := b.Zero()
 		for l, mono := range pol.Monomials {
 			coef := q.Coefs[t][l]
 			switch deg := mono.Degree(); {
 			case deg == 0:
-				acc = eng.AddConst(acc, coef*int64(m))
+				acc = b.AddConst(acc, coef*int64(m))
 			case deg == 1:
 				j := singleVar(mono.Exps)
-				acc = eng.Add(acc, eng.MulConst(lazyColSum(j), coef))
+				acc = b.Add(acc, b.MulConst(lazyColSum(j), coef))
 			case deg == 2:
-				a, b := twoVars(mono.Exps)
-				acc = eng.Add(acc, eng.MulConst(eng.Dot(cols[a], cols[b]), coef))
-				mulLayers = maxInt(mulLayers, 1)
+				a, c := twoVars(mono.Exps)
+				acc = b.Add(acc, b.MulConst(b.Dot(cols[a], cols[c]), coef))
 			default:
 				// General chain: per record, multiply the factors one
-				// resharing at a time.
-				sum := eng.Zero()
+				// level at a time; the scheduler batches every record's
+				// k-th multiplication into one round.
+				sum := b.Zero()
 				for i := 0; i < m; i++ {
 					var prod bgw.Val
 					for j, e := range mono.Exps {
 						for k := 0; k < e; k++ {
 							if prod == nil {
-								prod = eng.At(cols[j], i)
+								prod = b.At(cols[j], i)
 							} else {
-								prod = eng.Mul(prod, eng.At(cols[j], i))
+								prod = b.Mul(prod, b.At(cols[j], i))
 							}
 						}
 					}
-					sum = eng.Add(sum, prod)
+					sum = b.Add(sum, prod)
 				}
-				acc = eng.Add(acc, eng.MulConst(sum, coef))
-				mulLayers = maxInt(mulLayers, deg-1)
+				acc = b.Add(acc, b.MulConst(sum, coef))
 			}
 		}
-		out[t] = eng.Add(acc, noiseShared[t])
+		outIdx[t] = b.OpenIdx(b.Add(acc, noiseShared[t]))
 	}
-	for i := 0; i < mulLayers; i++ {
-		eng.AdvanceRound()
+	plan, err := b.Compile()
+	if err != nil {
+		return nil, err
 	}
-	scaled := make([]int64, d)
-	for t, s := range out {
-		scaled[t] = eng.Open(s)
+
+	eng, err := p.newEvaluator(0xb6d5)
+	if err != nil {
+		return nil, err
 	}
-	eng.AdvanceRound() // output round
+	defer eng.Close()
+	res, err := plan.Execute(eng, circuit.Bindings{})
+	if err != nil {
+		return nil, err
+	}
 	if err := eng.Err(); err != nil {
 		return nil, err
+	}
+	scaled := make([]int64, d)
+	for t := range scaled {
+		scaled[t] = res.Opened(outIdx[t])
 	}
 	tr.Stats = eng.Stats()
 	return scaled, nil
@@ -289,11 +295,4 @@ func twoVars(exps []int) (int, int) {
 		}
 	}
 	panic(invariant.Violation("core: not a degree-2 monomial"))
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

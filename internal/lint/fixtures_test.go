@@ -175,6 +175,21 @@ func TestPanicPolicyStrictOnExportedSurfaces(t *testing.T) {
 	}
 }
 
+func TestRoundAccountingFixture(t *testing.T) {
+	fixtureCase(t, "roundaccounting", "fixture/roundaccounting", "roundaccounting", 1)
+}
+
+func TestRoundAccountingExemptsCircuitPackage(t *testing.T) {
+	// The plan executor is the designated round driver: the same fixture
+	// loaded under internal/circuit's import path must stay silent.
+	_, res := loadFixture(t, "roundaccounting", "sqm/internal/circuit")
+	for _, d := range append(res.Diagnostics, res.Suppressed...) {
+		if d.Check == "roundaccounting" {
+			t.Errorf("roundaccounting fired inside its exempt package: %s", d)
+		}
+	}
+}
+
 func TestMalformedIgnoreDirective(t *testing.T) {
 	_, res := loadFixture(t, "badignore", "fixture/badignore")
 	var gotLint, gotFloat bool

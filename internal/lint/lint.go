@@ -103,6 +103,7 @@ func All() []*Analyzer {
 		AnalyzerSecretLeak,
 		AnalyzerFloatEq,
 		AnalyzerPanicPolicy,
+		AnalyzerRoundAccounting,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

@@ -46,7 +46,7 @@ func TestAggregateOverMatchesAggregate(t *testing.T) {
 			}
 			// The masked vectors of clients 1..3 actually crossed the
 			// mesh: 3 messages of 8·3 bytes each.
-			msgs, bytes := mesh.Counters()
+			_, msgs, bytes := mesh.Counters()
 			if msgs != 3 || bytes != 3*8*3 {
 				t.Fatalf("mesh counters = (%d, %d), want (3, 72)", msgs, bytes)
 			}

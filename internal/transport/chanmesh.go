@@ -19,6 +19,7 @@ type ChanMesh struct {
 	p        int
 	queues   [][]*queue // queues[from][to]
 	conns    []*chanConn
+	frames   atomic.Int64
 	messages atomic.Int64
 	bytes    atomic.Int64
 	closed   atomic.Bool
@@ -129,8 +130,8 @@ func (m *ChanMesh) SetRecvTimeout(d time.Duration) {
 }
 
 // Counters returns the cumulative traffic.
-func (m *ChanMesh) Counters() (messages, bytes int64) {
-	return m.messages.Load(), m.bytes.Load()
+func (m *ChanMesh) Counters() (frames, messages, bytes int64) {
+	return m.frames.Load(), m.messages.Load(), m.bytes.Load()
 }
 
 // Close wakes every blocked receiver with ErrClosed.
@@ -166,16 +167,23 @@ func (c *chanConn) SetRecvTimeout(d time.Duration) {
 	c.timeout.Store(int64(d))
 }
 
-func (c *chanConn) Send(to int, payload []byte) error {
+func (c *chanConn) Send(to int, payload []byte) error { return c.SendN(to, payload, 1) }
+
+// SendN enqueues one frame carrying msgs logical messages.
+func (c *chanConn) SendN(to int, payload []byte, msgs int) error {
 	if to == c.id || to < 0 || to >= c.mesh.p {
 		return fmt.Errorf("transport: party %d cannot send to %d", c.id, to)
+	}
+	if msgs < 1 {
+		msgs = 1
 	}
 	if err := c.mesh.queues[c.id][to].push(payload); err != nil {
 		return err
 	}
-	c.mesh.messages.Add(1)
+	c.mesh.frames.Add(1)
+	c.mesh.messages.Add(int64(msgs))
 	c.mesh.bytes.Add(int64(len(payload)))
-	c.mesh.obs.onSend(c.id, to, len(payload))
+	c.mesh.obs.onSend(c.id, to, len(payload), msgs)
 	return nil
 }
 

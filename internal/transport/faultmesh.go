@@ -112,9 +112,9 @@ func (m *FaultMesh) Conn(party int) PartyConn { return m.conns[party] }
 // wrapped mesh.
 func (m *FaultMesh) SetRecvTimeout(d time.Duration) { m.inner.SetRecvTimeout(d) }
 
-// Counters returns the wrapped mesh's traffic counters (messages that
+// Counters returns the wrapped mesh's traffic counters (frames that
 // were dropped or cut never reach the inner mesh and are not counted).
-func (m *FaultMesh) Counters() (messages, bytes int64) { return m.inner.Counters() }
+func (m *FaultMesh) Counters() (frames, messages, bytes int64) { return m.inner.Counters() }
 
 // Injected reports the faults injected so far.
 func (m *FaultMesh) Injected() FaultStats {
@@ -151,18 +151,46 @@ func (m *FaultMesh) Close() error {
 
 // faultLink is the per-directed-link fault state. Only the owning
 // sender goroutine touches sent/delivered/rng; the delay queue has its
-// own locking.
+// own locking. delayMsgs mirrors the delay queue in lockstep (single
+// producer, single consumer), carrying each delayed frame's logical
+// message count to the eventual SendN.
 type faultLink struct {
 	fault     LinkFault
 	rng       *randx.RNG // drop stream; nil when DropProb == 0
 	delivered int        // messages accepted for delivery (cut accounting)
 	delay     *queue     // pending delayed payloads; nil when Delay == 0
+	delayMsgs *msgQueue  // per-frame logical counts, FIFO with delay
 	wg        sync.WaitGroup
+}
+
+// msgQueue is an unbounded FIFO of logical-message counts, popped in
+// lockstep with the payload queue by the single forwarder goroutine.
+type msgQueue struct {
+	mu     sync.Mutex
+	counts []int
+}
+
+func (q *msgQueue) push(n int) {
+	q.mu.Lock()
+	q.counts = append(q.counts, n)
+	q.mu.Unlock()
+}
+
+func (q *msgQueue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.counts) == 0 {
+		return 1
+	}
+	n := q.counts[0]
+	q.counts = q.counts[1:]
+	return n
 }
 
 // start launches the FIFO delay forwarder for the link towards peer to.
 func (l *faultLink) start(inner PartyConn, to int, m *FaultMesh) {
 	l.delay = newQueue()
+	l.delayMsgs = &msgQueue{}
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -171,9 +199,10 @@ func (l *faultLink) start(inner PartyConn, to int, m *FaultMesh) {
 			if err != nil {
 				return
 			}
+			msgs := l.delayMsgs.pop()
 			time.Sleep(l.fault.Delay)
 			m.stats.delays.Add(1)
-			if inner.Send(to, b) != nil {
+			if inner.SendN(to, b, msgs) != nil {
 				// The receiver (or this sender) died; later queued
 				// deliveries will fail the same way — keep draining so
 				// close() does not hang.
@@ -210,7 +239,11 @@ func (c *faultConn) SetRecvTimeout(d time.Duration) { c.inner.SetRecvTimeout(d) 
 // Send applies the scripted faults in order: crash (the party is gone),
 // cut (the route is gone), drop (this message is gone), delay (the
 // message is late), and otherwise forwards to the wrapped endpoint.
-func (c *faultConn) Send(to int, payload []byte) error {
+func (c *faultConn) Send(to int, payload []byte) error { return c.SendN(to, payload, 1) }
+
+// SendN applies the same fault script to one frame of msgs logical
+// messages; injected faults act on whole frames.
+func (c *faultConn) SendN(to int, payload []byte, msgs int) error {
 	if c.crashed.Load() {
 		return ErrClosed
 	}
@@ -222,7 +255,7 @@ func (c *faultConn) Send(to int, payload []byte) error {
 	l := c.links[to]
 	if l == nil {
 		// Self/out-of-range sends: let the inner mesh report them.
-		return c.inner.Send(to, payload)
+		return c.inner.SendN(to, payload, msgs)
 	}
 	if l.fault.CutAfter > 0 && l.delivered >= l.fault.CutAfter {
 		c.mesh.stats.cuts.Add(1)
@@ -234,12 +267,13 @@ func (c *faultConn) Send(to int, payload []byte) error {
 	}
 	l.delivered++
 	if l.delay != nil {
+		l.delayMsgs.push(msgs)
 		if err := l.delay.push(payload); err != nil {
 			return ErrClosed
 		}
 		return nil
 	}
-	return c.inner.Send(to, payload)
+	return c.inner.SendN(to, payload, msgs)
 }
 
 // Recv forwards to the wrapped endpoint; a crashed party only sees

@@ -20,9 +20,9 @@ func TestFaultMeshPassthrough(t *testing.T) {
 	if s := fm.Injected(); s != (FaultStats{}) {
 		t.Fatalf("zero profile injected faults: %+v", s)
 	}
-	msgs, bytes := fm.Counters()
-	if msgs != 1 || bytes != 2 {
-		t.Fatalf("Counters = %d msgs, %d bytes; want 1, 2", msgs, bytes)
+	frames, msgs, bytes := fm.Counters()
+	if frames != 1 || msgs != 1 || bytes != 2 {
+		t.Fatalf("Counters = %d frames, %d msgs, %d bytes; want 1, 1, 2", frames, msgs, bytes)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 type NetMesh struct {
 	p        int
 	conns    []*netConn
+	frames   atomic.Int64
 	messages atomic.Int64
 	bytes    atomic.Int64
 	closed   atomic.Bool
@@ -206,9 +207,9 @@ func (m *NetMesh) SetRecvTimeout(d time.Duration) {
 	}
 }
 
-// Counters returns the cumulative traffic (frames and payload bytes).
-func (m *NetMesh) Counters() (messages, bytes int64) {
-	return m.messages.Load(), m.bytes.Load()
+// Counters returns the cumulative traffic.
+func (m *NetMesh) Counters() (frames, messages, bytes int64) {
+	return m.frames.Load(), m.messages.Load(), m.bytes.Load()
 }
 
 // Close tears down every link.
@@ -239,9 +240,15 @@ func (c *netConn) SetRecvTimeout(d time.Duration) {
 
 // Send frames the payload (version/MsgShare/sender-id/length) and hands
 // it to the link's writer pump.
-func (c *netConn) Send(to int, payload []byte) error {
+func (c *netConn) Send(to int, payload []byte) error { return c.SendN(to, payload, 1) }
+
+// SendN sends one wire frame carrying msgs logical messages.
+func (c *netConn) SendN(to int, payload []byte, msgs int) error {
 	if to == c.id || to < 0 || to >= c.mesh.p {
 		return fmt.Errorf("transport: party %d cannot send to %d", c.id, to)
+	}
+	if msgs < 1 {
+		msgs = 1
 	}
 	l := c.links[to]
 	if err, ok := l.werr.Load().(error); ok {
@@ -251,9 +258,10 @@ func (c *netConn) Send(to int, payload []byte) error {
 	if err := l.out.push(frame); err != nil {
 		return err
 	}
-	c.mesh.messages.Add(1)
+	c.mesh.frames.Add(1)
+	c.mesh.messages.Add(int64(msgs))
 	c.mesh.bytes.Add(int64(len(payload)))
-	c.mesh.obs.onSend(c.id, to, len(payload))
+	c.mesh.obs.onSend(c.id, to, len(payload), msgs)
 	return nil
 }
 

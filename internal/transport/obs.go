@@ -57,7 +57,8 @@ func applyOptions(opts []Option) options {
 // timestamp its Send recorded: per ordered pair, both meshes deliver in
 // FIFO order, so the queues line up without touching the wire format.
 type meshObs struct {
-	msgs, bytes *obs.Counter
+	frames      *obs.Counter // physical sends (one per SendN)
+	msgs, bytes *obs.Counter // logical messages and payload bytes
 	timeouts    *obs.Counter
 	latency     *obs.Histogram
 	linkMsgs    [][]*obs.Counter // [from][to]
@@ -77,6 +78,7 @@ func newMeshObs(p int, prefix string, rec obs.Recorder) *meshObs {
 		return nil
 	}
 	o := &meshObs{
+		frames:   m.Counter(prefix + ".frames"),
 		msgs:     m.Counter(prefix + ".messages"),
 		bytes:    m.Counter(prefix + ".bytes"),
 		timeouts: m.Counter(prefix + ".recv.timeouts"),
@@ -102,14 +104,16 @@ func newMeshObs(p int, prefix string, rec obs.Recorder) *meshObs {
 	return o
 }
 
-// onSend records one accepted send of n payload bytes from→to.
-func (o *meshObs) onSend(from, to, n int) {
+// onSend records one accepted frame of n payload bytes carrying msgs
+// logical messages from→to.
+func (o *meshObs) onSend(from, to, n, msgs int) {
 	if o == nil {
 		return
 	}
-	o.msgs.Add(1)
+	o.frames.Add(1)
+	o.msgs.Add(int64(msgs))
 	o.bytes.Add(int64(n))
-	o.linkMsgs[from][to].Add(1)
+	o.linkMsgs[from][to].Add(int64(msgs))
 	o.linkBytes[from][to].Add(int64(n))
 	o.stamps[from][to].push(time.Now())
 }

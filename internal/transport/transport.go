@@ -50,8 +50,15 @@ type PartyConn interface {
 	Parties() int
 	// Send enqueues payload for party to. It never blocks on the
 	// receiver and must not be called with to == ID(). The payload is
-	// owned by the transport after the call.
+	// owned by the transport after the call. A Send is metered as one
+	// frame carrying one logical message.
 	Send(to int, payload []byte) error
+	// SendN enqueues payload as a single frame carrying msgs logical
+	// messages — the batched-round shape in which one wire frame folds
+	// the independent per-value messages of a whole level. Counting the
+	// two separately keeps batching honest in telemetry: frames drop
+	// with batching, logical messages do not. msgs < 1 counts as 1.
+	SendN(to int, payload []byte, msgs int) error
 	// Recv blocks until the next payload from party from arrives.
 	// Messages from one sender are delivered in send order (per-pair
 	// FIFO); ordering across senders is unspecified. When a receive
@@ -79,9 +86,10 @@ type Mesh interface {
 	// SetRecvTimeout applies a receive deadline to every endpoint (see
 	// PartyConn.SetRecvTimeout).
 	SetRecvTimeout(d time.Duration)
-	// Counters returns the cumulative messages sent and payload bytes
-	// carried since the mesh was created.
-	Counters() (messages, bytes int64)
+	// Counters returns the cumulative traffic since the mesh was
+	// created: frames (physical sends), logical messages (a batched
+	// frame may carry many; see PartyConn.SendN) and payload bytes.
+	Counters() (frames, messages, bytes int64)
 	// Close tears down every endpoint.
 	Close() error
 }

@@ -67,9 +67,12 @@ func TestMeshExchange(t *testing.T) {
 					t.Errorf("party %d: %v", i, err)
 				}
 			}
-			msgs, bytes := mesh.Counters()
+			frames, msgs, bytes := mesh.Counters()
 			if want := int64(p * (p - 1)); msgs != want {
 				t.Errorf("messages = %d, want %d", msgs, want)
+			}
+			if frames != msgs {
+				t.Errorf("frames = %d, want %d (unbatched sends)", frames, msgs)
 			}
 			if bytes <= 0 {
 				t.Errorf("bytes = %d, want > 0", bytes)
@@ -202,9 +205,9 @@ func TestMeshCountersMeasureBytes(t *testing.T) {
 			if _, err := mesh.Conn(1).Recv(2); err != nil {
 				t.Fatal(err)
 			}
-			msgs, bytes := mesh.Counters()
-			if msgs != 2 || bytes != 64 {
-				t.Fatalf("counters = (%d msgs, %d bytes), want (2, 64)", msgs, bytes)
+			frames, msgs, bytes := mesh.Counters()
+			if frames != 2 || msgs != 2 || bytes != 64 {
+				t.Fatalf("counters = (%d frames, %d msgs, %d bytes), want (2, 2, 64)", frames, msgs, bytes)
 			}
 		})
 	}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDump(t *testing.T, dir, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMergesDirAndExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	writeDump(t, dir, "trace-00000000deadbeef-party0.jsonl",
+		`{"seq":1,"level":-4,"name":"transport.send","attrs":{"trace":"00000000deadbeef","party":0,"lclock":3,"peer":1,"bytes":64}}`)
+	writeDump(t, dir, "trace-00000000deadbeef-party1.jsonl",
+		`{"seq":1,"level":-4,"name":"transport.recv","attrs":{"trace":"00000000deadbeef","party":1,"lclock":4,"peer":0,"remote_lclock":3,"bytes":64}}`)
+
+	var stdout, stderr bytes.Buffer
+	outFile := filepath.Join(t.TempDir(), "timeline.json")
+	if code := run([]string{"-format", "json", "-o", outFile, dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl struct {
+		Trace string `json:"trace"`
+		Match struct {
+			Matched int `json:"matched"`
+		} `json:"match"`
+	}
+	if err := json.Unmarshal(raw, &tl); err != nil {
+		t.Fatalf("timeline not JSON: %v\n%s", err, raw)
+	}
+	if tl.Trace != "00000000deadbeef" || tl.Match.Matched != 1 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+}
+
+func TestRunFlagsInconsistentTimeline(t *testing.T) {
+	dir := t.TempDir()
+	// A receive with no matching send anywhere: exit code 1.
+	writeDump(t, dir, "trace-00000000deadbeef-party1.jsonl",
+		`{"seq":1,"level":-4,"name":"transport.recv","attrs":{"trace":"00000000deadbeef","party":1,"lclock":4,"peer":0,"remote_lclock":3}}`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"-format", "xml", "x.jsonl"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad-format exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing-file exit %d, want 2", code)
+	}
+}

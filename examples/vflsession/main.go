@@ -17,9 +17,18 @@
 // the end.
 //
 // Run with: go run ./examples/vflsession
+//
+// Pass -trace-dir to additionally record a distributed trace: the
+// session coordinator and all three mesh parties stamp their events
+// with a shared trace id and Lamport clocks, and dump per-party JSONL
+// flight-recorder files into the directory on exit. Merge them into
+// one causally ordered timeline with:
+//
+//	go run ./cmd/sqmtrace <trace-dir>
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -28,6 +37,8 @@ import (
 )
 
 func main() {
+	traceDir := flag.String("trace-dir", "", "dump per-party trace JSONL into this directory")
+	flag.Parse()
 	// The shared database: 200 records, one column per client.
 	x := sqm.NewMatrix(200, 3)
 	for i := 0; i < x.Rows; i++ {
@@ -54,19 +65,31 @@ func main() {
 		log.Fatal(err)
 	}
 
+	params := sqm.SessionParams{
+		Gamma: gamma, Mu: mu, NumClients: 3, OutDim: 1, Rounds: 2, Seed: 11,
+	}
+
 	// Telemetry: structured events on stderr plus a metrics registry
 	// shared by the session coordinator, the BGW engines and the TCP
 	// meshes. The accountant ledger reports the running ε(δ) after each
 	// of the two per-round Skellam releases.
-	rec := sqm.NewLogRecorder(os.Stderr, "text", sqm.LevelInfo)
+	var rec sqm.Recorder = sqm.NewLogRecorder(os.Stderr, "text", sqm.LevelInfo)
+
+	// One trace context spans the whole run: the session coordinator
+	// and the three BGW mesh parties share the trace id, so sqmtrace
+	// can merge their dumps into a single causal timeline. Wrapping the
+	// recorder up front also routes the ledger's dp.release events into
+	// the coordinator's flight recorder.
+	var tc *sqm.TraceContext
+	if *traceDir != "" {
+		tc = sqm.NewTraceContext(sqm.DeriveTraceID(params.Seed, 3), 3)
+		rec = tc.Coordinator().Wrap(rec)
+	}
+
 	const delta = 1e-5
 	acct := sqm.NewAccountant(0)
 	acct.Observe(rec, delta)
 	acct.SetBudget(2.5) // two rounds at eps=1 each compose below this
-
-	params := sqm.SessionParams{
-		Gamma: gamma, Mu: mu, NumClients: 3, OutDim: 1, Rounds: 2, Seed: 11,
-	}
 	hooks := make([]sqm.SessionClientHooks, 3)
 	for i := range hooks {
 		id := i
@@ -89,6 +112,7 @@ func main() {
 			Engine: sqm.EngineActorBGWNet, Parties: 3,
 			Seed:     params.Seed + uint64(round),
 			Recorder: rec,
+			Trace:    tc,
 		})
 		if err != nil {
 			return nil, err
@@ -97,7 +121,7 @@ func main() {
 		acct.AddSkellam(delta2*1.8, delta2, params.Mu)
 		scale = tr.Scale
 		return tr.Scaled, nil
-	}, sqm.WithSessionRecorder(rec))
+	}, sqm.WithSessionRecorder(rec), sqm.WithSessionTrace(tc), sqm.WithSessionTraceDir(*traceDir))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -51,6 +51,8 @@ type ActorEngine struct {
 	opsGauge    *obs.Gauge
 	partyGauges []*obs.Gauge // per-party cumulative field ops
 	lastRound   time.Time
+	lastFrames  int64 // mesh frame counter at the previous round boundary
+	lastMsgs    int64 // mesh message counter at the previous round boundary
 }
 
 // ActorShared is an opaque handle to one secret-shared scalar whose
@@ -142,7 +144,8 @@ func (e *ActorEngine) Latency() time.Duration { return e.latency }
 func (e *ActorEngine) Recorder() obs.Recorder { return obs.Or(e.rec) }
 
 // AdvanceRound accounts one communication round; with telemetry enabled
-// the wall-clock since the previous boundary becomes one bgw.round span.
+// the wall-clock since the previous boundary becomes one bgw.round span
+// carrying the mesh's frame/message deltas for the round.
 func (e *ActorEngine) AdvanceRound() {
 	e.rounds++
 	if e.rec != nil {
@@ -150,8 +153,11 @@ func (e *ActorEngine) AdvanceRound() {
 		secs := now.Sub(e.lastRound).Seconds()
 		e.lastRound = now
 		e.roundHist.Observe(secs)
+		frames, msgs, _ := e.mesh.Counters()
 		e.rec.Event(obs.LevelDebug, "bgw.round",
-			obs.Int64("round", e.rounds), obs.Float64("seconds", secs))
+			obs.Int64("round", e.rounds), obs.Float64("seconds", secs),
+			obs.Int64("frames", frames-e.lastFrames), obs.Int64("messages", msgs-e.lastMsgs))
+		e.lastFrames, e.lastMsgs = frames, msgs
 	}
 }
 

@@ -147,7 +147,8 @@ func (e *Engine) observeRound(round, ops int64) {
 	e.roundHist.Observe(secs)
 	e.opsGauge.Set(float64(ops))
 	e.rec.Event(obs.LevelDebug, "bgw.round",
-		obs.Int64("round", round), obs.Float64("seconds", secs))
+		obs.Int64("round", round), obs.Float64("seconds", secs),
+		obs.Int64("fieldops", ops))
 }
 
 // Shared is a single secret-shared value; shares[i] is held by party i.

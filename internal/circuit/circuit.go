@@ -120,6 +120,7 @@ type ConstID int
 type Builder struct {
 	p, t  int
 	nodes []node
+	rec   obs.Recorder // optional; surfaced through Recorder()
 
 	nConsts, nInputs, nInputVecs, nExt, nExtVecs int
 	opens, openVecs                              []int // node ids in record order
@@ -262,8 +263,16 @@ func (b *Builder) ResetStats() {}
 // levels, not from caller bookkeeping.
 func (b *Builder) AdvanceRound() {}
 
-// Recorder returns the no-op telemetry sink.
-func (b *Builder) Recorder() obs.Recorder { return obs.Or(nil) }
+// SetRecorder attaches a telemetry recorder to the Builder (and to the
+// plans it compiles, through the recorded Evaluator surface). Returns
+// the Builder for construction chaining.
+func (b *Builder) SetRecorder(rec obs.Recorder) *Builder {
+	b.rec = rec
+	return b
+}
+
+// Recorder returns the attached recorder, or the no-op sink.
+func (b *Builder) Recorder() obs.Recorder { return obs.Or(b.rec) }
 
 // Err always reports healthy.
 func (b *Builder) Err() error { return nil }

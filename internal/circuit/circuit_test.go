@@ -1,9 +1,11 @@
 package circuit
 
 import (
+	"bytes"
 	"testing"
 
 	"sqm/internal/bgw"
+	"sqm/internal/obs"
 	"sqm/internal/transport"
 )
 
@@ -80,6 +82,36 @@ func TestExecuteMatchesPlainAcrossEngines(t *testing.T) {
 	}
 	if r := actor.Stats().Rounds; r != int64(plan.Rounds()) {
 		t.Fatalf("actor rounds = %d, want %d", r, plan.Rounds())
+	}
+}
+
+// TestExecuteEmitsLevelSpans pins the executor's instrumentation: with
+// a debug-level recorder on the engine, every batched level and the
+// open round produce spans, observed in the recorder's registry.
+func TestExecuteEmitsLevelSpans(t *testing.T) {
+	rec := obs.NewLog(&bytes.Buffer{}, "json", obs.LevelDebug)
+	b := NewBuilder(4, 0).SetRecorder(rec)
+	if b.Recorder() != obs.Recorder(rec) {
+		t.Fatal("SetRecorder not surfaced through Recorder()")
+	}
+	buildPoly(b)
+	plan := b.MustCompile()
+	eng, err := bgw.NewEngine(bgw.Config{Parties: 4, Seed: 11, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Execute(bgw.Eval(eng), Bindings{}); err != nil {
+		t.Fatal(err)
+	}
+	m := rec.Metrics()
+	if got := m.Histogram("circuit.exec.seconds").Snapshot().Count; got != 1 {
+		t.Fatalf("circuit.exec spans = %d, want 1", got)
+	}
+	if got := m.Histogram("circuit.level.seconds").Snapshot().Count; got != int64(plan.Depth()) {
+		t.Fatalf("circuit.level spans = %d, want %d", got, plan.Depth())
+	}
+	if got := m.Histogram("circuit.open.seconds").Snapshot().Count; got != 1 {
+		t.Fatalf("circuit.open spans = %d, want 1", got)
 	}
 }
 

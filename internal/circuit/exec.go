@@ -5,6 +5,7 @@ import (
 
 	"sqm/internal/bgw"
 	"sqm/internal/invariant"
+	"sqm/internal/obs"
 )
 
 // Bindings supplies a plan's parameters for one execution, each slice
@@ -92,10 +93,23 @@ func (p *Plan) Execute(eng bgw.Evaluator, bind Bindings) (*Result, error) {
 	return p.ExecuteOpts(eng, bind, ExecOptions{})
 }
 
-// ExecuteOpts runs the plan with explicit options.
+// ExecuteOpts runs the plan with explicit options. When the engine's
+// recorder admits debug events, the execution is traced: one
+// "circuit.exec" span for the whole run with one "circuit.level" child
+// per batched multiplication round and a "circuit.open" child for the
+// output round, each carrying gate counts and the engine's frame/round
+// deltas. Disabled telemetry skips all of it (the spans are inert and
+// Stats is never read).
 func (p *Plan) ExecuteOpts(eng bgw.Evaluator, bind Bindings, opts ExecOptions) (*Result, error) {
 	if err := p.validate(bind); err != nil {
 		return nil, err
+	}
+	rec := eng.Recorder()
+	exec := obs.StartTracedSpan(rec, "circuit.exec", 0,
+		obs.Int("depth", p.depth), obs.Int("nodes", len(p.nodes)), obs.Bool("eager", opts.Eager))
+	var prev bgw.Stats
+	if exec.Active() {
+		prev = eng.Stats()
 	}
 	r := &Result{
 		plan: p,
@@ -111,8 +125,23 @@ func (p *Plan) ExecuteOpts(eng bgw.Evaluator, bind Bindings, opts ExecOptions) (
 	if p.hasInputs {
 		eng.AdvanceRound()
 	}
+	// levelDelta closes one child span with the engine's traffic deltas
+	// since the previous close.
+	levelDelta := func(sp obs.TracedSpan) {
+		if !sp.Active() {
+			return
+		}
+		s := eng.Stats()
+		sp.End(
+			obs.Int64("frames", s.Frames-prev.Frames),
+			obs.Int64("rounds", s.Rounds-prev.Rounds),
+			obs.Int64("bytes", s.Bytes-prev.Bytes))
+		prev = s
+	}
 	for lvl := 1; lvl <= p.depth; lvl++ {
 		gates := p.muls[lvl-1]
+		sp := obs.StartTracedSpan(rec, "circuit.level", exec.ID(),
+			obs.Int("level", lvl), obs.Int("gates", len(gates)))
 		if opts.Eager {
 			for _, id := range gates {
 				n := &p.nodes[id]
@@ -145,6 +174,7 @@ func (p *Plan) ExecuteOpts(eng bgw.Evaluator, bind Bindings, opts ExecOptions) (
 			}
 			eng.AdvanceRound()
 		}
+		levelDelta(sp)
 		for _, id := range p.locals[lvl] {
 			if err := p.evalLocal(eng, bind, r, id); err != nil {
 				return nil, err
@@ -152,6 +182,8 @@ func (p *Plan) ExecuteOpts(eng bgw.Evaluator, bind Bindings, opts ExecOptions) (
 		}
 	}
 	if p.hasOpens() {
+		sp := obs.StartTracedSpan(rec, "circuit.open", exec.ID(),
+			obs.Int("opens", len(p.opens)), obs.Int("open_vecs", len(p.openVecs)))
 		if opts.Eager {
 			r.opened = make([]int64, len(p.opens))
 			for i, id := range p.opens {
@@ -169,7 +201,9 @@ func (p *Plan) ExecuteOpts(eng bgw.Evaluator, bind Bindings, opts ExecOptions) (
 			r.openedVecs[i] = eng.OpenVec(r.vecs[p.nodes[id].a])
 		}
 		eng.AdvanceRound()
+		levelDelta(sp)
 	}
+	exec.End()
 	return r, nil
 }
 

@@ -50,6 +50,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		verbose   = fs.Bool("v", false, "debug-level telemetry on stderr (implies -log-format text)")
 		logFormat = fs.String("log-format", "", "structured telemetry on stderr: text or json")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
+		traceDir  = fs.String("trace-dir", "", "dump per-party flight-recorder traces (JSONL) into this directory; merge with sqmtrace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +99,28 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 	if kind.IsMPC() && *nparty == 0 {
 		*nparty = 3
 	}
+	// -trace-dir turns on the session flight recorder: one trace
+	// context shared by the coordinator and (for MPC engines) every
+	// mesh party, dumped as per-party JSONL on the way out so crashes
+	// still leave evidence. sqmtrace merges the dumps.
+	var tc *obs.TraceContext
+	if *traceDir != "" {
+		parties := 0
+		if kind.IsMPC() {
+			parties = *nparty
+		}
+		tc = obs.NewTraceContext(obs.DeriveTraceID(*seed, uint64(parties)), parties)
+		rec = tc.Coordinator().Wrap(rec)
+		defer func() {
+			files, err := tc.DumpAll(*traceDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "sqmrun: trace dump failed: %v\n", err)
+				return
+			}
+			fmt.Fprintf(stderr, "sqmrun: wrote %d trace dump(s) to %s (merge with: sqmtrace %s)\n",
+				len(files), *traceDir, *traceDir)
+		}()
+	}
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -143,7 +166,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 	case "pca":
 		r, err := pca.SQM(loaded.X, pca.Config{
 			K: *k, Eps: *eps, Delta: *delta, C: 1, Gamma: *gamma, Seed: *seed,
-			Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
+			Engine: kind, Parties: *nparty, Recorder: rec, Trace: tc, Fault: fault,
 		})
 		if err != nil {
 			return err
@@ -160,7 +183,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cov, _, err := core.Covariance(loaded.X, core.Params{
-			Gamma: *gamma, Mu: mu, Seed: *seed, Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
+			Gamma: *gamma, Mu: mu, Seed: *seed, Engine: kind, Parties: *nparty, Recorder: rec, Trace: tc, Fault: fault,
 		})
 		if err != nil {
 			return err
@@ -178,7 +201,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		cfg := logreg.Config{
 			Eps: *eps, Delta: *delta, Gamma: *gamma,
 			Epochs: *epochs, SampleRate: *q, Seed: *seed,
-			Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
+			Engine: kind, Parties: *nparty, Recorder: rec, Trace: tc, Fault: fault,
 		}
 		m, err := logreg.TrainSQM(loaded.X, loaded.Labels, cfg)
 		if err != nil {
@@ -206,7 +229,7 @@ func Run(cmd string, args []string, stdout, stderr io.Writer) error {
 		}
 		m, err := linreg.SQM(loaded.X, loaded.Labels, linreg.Config{
 			Eps: *eps, Delta: *delta, C: 1, B: 1, Gamma: *gamma, Seed: *seed,
-			Engine: kind, Parties: *nparty, Recorder: rec, Fault: fault,
+			Engine: kind, Parties: *nparty, Recorder: rec, Trace: tc, Fault: fault,
 		})
 		if err != nil {
 			return err

@@ -191,6 +191,26 @@ func TestRunTelemetryFlags(t *testing.T) {
 	}
 }
 
+func TestRunTraceDir(t *testing.T) {
+	data := writeTask(t, false)
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	err := Run("covariance", []string{
+		"-data", data, "-header", "-engine", "actor", "-parties", "3", "-trace-dir", dir,
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "trace dump") {
+		t.Fatalf("stderr missing trace dump report: %q", errBuf.String())
+	}
+	// Coordinator stream plus one per mesh party.
+	dumps, err := filepath.Glob(filepath.Join(dir, "trace-*.jsonl"))
+	if err != nil || len(dumps) != 4 {
+		t.Fatalf("trace dumps = %v (err %v), want 4", dumps, err)
+	}
+}
+
 func TestRunRejectsBadLogFormat(t *testing.T) {
 	data := writeTask(t, false)
 	var out, errBuf bytes.Buffer

@@ -107,6 +107,12 @@ type Params struct {
 	Seed       uint64        // reproducibility seed
 	Recorder   obs.Recorder  // telemetry sink for engine and mesh; nil disables
 	Fault      FaultConfig   // fault-tolerance knobs (zero value: fail-stop off)
+	// Trace attaches distributed tracing: the engine's events are
+	// stamped into the coordinator stream's flight recorder, and — when
+	// the context carries one stream per party — the mesh propagates
+	// (trace, sender, lclock) in-band so per-party streams merge into
+	// one causal timeline. Nil disables tracing.
+	Trace *obs.TraceContext
 }
 
 // FaultConfig bundles the fault-tolerance knobs the CLIs thread down to
@@ -146,6 +152,10 @@ func (p *Params) normalize(cols int) error {
 			return fmt.Errorf("core: BGW needs at least 3 parties, got %d", p.Parties)
 		}
 	}
+	if p.Trace != nil && p.Trace.Parties() != 0 && p.Engine.IsMPC() && p.Trace.Parties() != p.Parties {
+		return fmt.Errorf("core: trace context has %d party streams, engine has %d parties",
+			p.Trace.Parties(), p.Parties)
+	}
 	if p.Latency == 0 {
 		p.Latency = bgw.DefaultLatency
 	}
@@ -175,9 +185,19 @@ func (p *Params) partyOf(client int) int {
 // stream, as before the backends became pluggable. The caller owns the
 // evaluator and must Close it.
 func (p *Params) newEvaluator(seedXor uint64) (bgw.Evaluator, error) {
+	rec := p.Recorder
+	if p.Trace != nil && obs.TraceOf(rec) == nil {
+		// The engine runs on the coordinator goroutine: its events land
+		// on the coordinator stream, stamped and flight-recorded.
+		rec = p.Trace.Coordinator().Wrap(rec)
+	}
 	cfg := bgw.Config{
 		Parties: p.Parties, Threshold: p.Threshold, Latency: p.Latency,
-		Seed: p.Seed ^ seedXor, Recorder: p.Recorder, RecvTimeout: p.Fault.RecvTimeout,
+		Seed: p.Seed ^ seedXor, Recorder: rec, RecvTimeout: p.Fault.RecvTimeout,
+	}
+	meshOpts := []transport.Option{transport.WithRecorder(rec)}
+	if p.Trace != nil && p.Trace.Parties() == p.Parties {
+		meshOpts = append(meshOpts, transport.WithTracer(p.Trace))
 	}
 	switch p.Engine {
 	case EngineBGW:
@@ -187,18 +207,17 @@ func (p *Params) newEvaluator(seedXor uint64) (bgw.Evaluator, error) {
 		}
 		return bgw.Eval(eng), nil
 	case EngineActorBGW:
-		return bgw.NewActorEngine(cfg, transport.NewChanMesh(cfg.Parties, transport.WithRecorder(p.Recorder)))
+		return bgw.NewActorEngine(cfg, transport.NewChanMesh(cfg.Parties, meshOpts...))
 	case EngineActorBGWNet:
-		mesh, err := transport.NewTCPMesh(cfg.Parties,
-			transport.WithRecorder(p.Recorder),
-			transport.WithDialRetry(retry.Policy{
-				Attempts: p.Fault.DialRetries,
-				Base:     p.Fault.DialBackoff,
-				Jitter:   0.5,
-				Seed:     p.Seed ^ 0xd1a1,
-				Recorder: p.Recorder,
-				Name:     "core.dial",
-			}))
+		meshOpts = append(meshOpts, transport.WithDialRetry(retry.Policy{
+			Attempts: p.Fault.DialRetries,
+			Base:     p.Fault.DialBackoff,
+			Jitter:   0.5,
+			Seed:     p.Seed ^ 0xd1a1,
+			Recorder: rec,
+			Name:     "core.dial",
+		}))
+		mesh, err := transport.NewTCPMesh(cfg.Parties, meshOpts...)
 		if err != nil {
 			return nil, err
 		}

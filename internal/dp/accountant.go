@@ -90,9 +90,14 @@ func (a *Accountant) record(curve Curve) {
 	}
 	eps, alpha := a.Epsilon(delta)
 	gauge.Set(eps)
-	rec.Event(obs.LevelInfo, "dp.release",
+	attrs := []obs.Attr{
 		obs.Int("release", release), obs.Float64("eps", eps),
-		obs.Int("alpha", alpha), obs.Float64("delta", delta))
+		obs.Int("alpha", alpha), obs.Float64("delta", delta),
+	}
+	if budget > 0 {
+		attrs = append(attrs, obs.Float64("remaining", budget-eps))
+	}
+	rec.Event(obs.LevelInfo, "dp.release", attrs...)
 	if budget > 0 && eps > budget {
 		rec.Event(obs.LevelWarn, "dp.budget_exceeded",
 			obs.Float64("eps", eps), obs.Float64("budget", budget),

@@ -142,6 +142,10 @@ func TestSecretLeakFixture(t *testing.T) {
 	fixtureCase(t, "secretleak", "fixture/secretleak", "secretleak", 1)
 }
 
+func TestSecretLeakAttrFixture(t *testing.T) {
+	fixtureCase(t, "secretleakattr", "fixture/secretleakattr", "secretleak", 1)
+}
+
 func TestFloatEqFixture(t *testing.T) {
 	fixtureCase(t, "floateq", "fixture/floateq", "floateq", 1)
 }

@@ -25,6 +25,15 @@ var sinkPkgs = map[string]bool{
 	"sqm/internal/obs": true,
 }
 
+// attrTypes marks result types that make any function a telemetry sink
+// regardless of its package: a helper returning an obs.Attr (alone or
+// inside a slice/struct) is an attribute constructor, and a share
+// flowing into it ends up on the same console/dump surface as a direct
+// obs call — flight-recorder JSONL dumps included.
+var attrTypes = map[string][]string{
+	"sqm/internal/obs": {"Attr"},
+}
+
 // AnalyzerSecretLeak enforces the share-confidentiality invariant of
 // the distributed-DP threat model (shared with the Skellam mechanism
 // line of work): Shamir/BGW shares and Beaver triples are
@@ -81,18 +90,39 @@ func (p *Pass) isSinkCall(call *ast.CallExpr) bool {
 	if !ok || fn.Pkg() == nil {
 		return false
 	}
-	return sinkPkgs[fn.Pkg().Path()]
+	if sinkPkgs[fn.Pkg().Path()] {
+		return true
+	}
+	// Any function producing obs.Attr values is an attribute
+	// constructor and therefore a sink for its arguments.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if _, attr := containsNamedType(sig.Results().At(i).Type(), attrTypes); attr {
+			return true
+		}
+	}
+	return false
 }
 
 // containsSecretType reports whether t is, or structurally contains, a
-// secret share type, returning the offending type's name. The
-// traversal follows pointers, slices, arrays, maps, channels, and
-// struct fields, with a visited set to terminate on recursive types.
+// secret share type, returning the offending type's name.
 func containsSecretType(t types.Type) (string, bool) {
-	return secretWalk(t, make(map[types.Type]bool))
+	return containsNamedType(t, secretTypes)
 }
 
-func secretWalk(t types.Type, seen map[types.Type]bool) (string, bool) {
+// containsNamedType reports whether t is, or structurally contains, one
+// of the named types in the table (package path -> type names),
+// returning the offending type's name. The traversal follows pointers,
+// slices, arrays, maps, channels, and struct fields, with a visited set
+// to terminate on recursive types.
+func containsNamedType(t types.Type, table map[string][]string) (string, bool) {
+	return namedWalk(t, table, make(map[types.Type]bool))
+}
+
+func namedWalk(t types.Type, table map[string][]string, seen map[types.Type]bool) (string, bool) {
 	if seen[t] {
 		return "", false
 	}
@@ -101,29 +131,29 @@ func secretWalk(t types.Type, seen map[types.Type]bool) (string, bool) {
 	case *types.Named:
 		obj := tt.Obj()
 		if obj.Pkg() != nil {
-			for _, name := range secretTypes[obj.Pkg().Path()] {
+			for _, name := range table[obj.Pkg().Path()] {
 				if obj.Name() == name {
 					return obj.Pkg().Path() + "." + name, true
 				}
 			}
 		}
-		return secretWalk(tt.Underlying(), seen)
+		return namedWalk(tt.Underlying(), table, seen)
 	case *types.Pointer:
-		return secretWalk(tt.Elem(), seen)
+		return namedWalk(tt.Elem(), table, seen)
 	case *types.Slice:
-		return secretWalk(tt.Elem(), seen)
+		return namedWalk(tt.Elem(), table, seen)
 	case *types.Array:
-		return secretWalk(tt.Elem(), seen)
+		return namedWalk(tt.Elem(), table, seen)
 	case *types.Chan:
-		return secretWalk(tt.Elem(), seen)
+		return namedWalk(tt.Elem(), table, seen)
 	case *types.Map:
-		if name, ok := secretWalk(tt.Key(), seen); ok {
+		if name, ok := namedWalk(tt.Key(), table, seen); ok {
 			return name, true
 		}
-		return secretWalk(tt.Elem(), seen)
+		return namedWalk(tt.Elem(), table, seen)
 	case *types.Struct:
 		for i := 0; i < tt.NumFields(); i++ {
-			if name, ok := secretWalk(tt.Field(i).Type(), seen); ok {
+			if name, ok := namedWalk(tt.Field(i).Type(), table, seen); ok {
 				return name, true
 			}
 		}

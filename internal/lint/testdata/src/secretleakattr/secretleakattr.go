@@ -1,0 +1,45 @@
+// Package secretleakattrfixture exercises the attribute-constructor
+// extension of the secretleak analyzer: any function whose result
+// contains obs.Attr is a telemetry sink, so share-typed arguments must
+// not flow into it even when the helper lives outside the obs package.
+package secretleakattrfixture
+
+import (
+	"sqm/internal/bgw"
+	"sqm/internal/obs"
+)
+
+// shareAttr is a local attribute constructor: its obs.Attr result
+// makes every call to it a sink.
+func shareAttr(key string, s bgw.Shared) obs.Attr {
+	_ = s
+	return obs.String(key, "redacted")
+}
+
+// attrPair returns attributes inside a slice; still a sink.
+func attrPair(round int, v bgw.SharedVec) []obs.Attr {
+	_ = v
+	return []obs.Attr{obs.Int("round", round)}
+}
+
+// Bad routes shares through local Attr-returning helpers.
+func Bad(s bgw.Shared, v bgw.SharedVec) {
+	_ = shareAttr("sh", s)  // want "secret share value of type sqm/internal/bgw.Shared"
+	_ = attrPair(3, v)      // want "secret share value of type sqm/internal/bgw.SharedVec"
+	_ = shareAttr("vec", s) // want "secret share value of type sqm/internal/bgw.Shared"
+}
+
+// Suppressed shows a reviewed escape hatch for the attr-flow rule.
+func Suppressed(s bgw.Shared) {
+	//lint:ignore secretleak fixture demonstrating a reviewed suppression
+	_ = shareAttr("sh", s)
+}
+
+// countAttr takes only non-secret derivatives; calls stay clean.
+func countAttr(n int) obs.Attr { return obs.Int("shares", n) }
+
+// Good builds attributes only from non-secret derivatives.
+func Good(vs []bgw.Shared) {
+	_ = countAttr(len(vs))
+	_ = obs.Int("shares", len(vs))
+}

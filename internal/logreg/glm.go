@@ -96,6 +96,7 @@ func TrainGLM(link *approx.Poly1, x *linalg.Matrix, y []float64, cfg Config) (*M
 			Parties:    cfg.Parties,
 			Seed:       cfg.Seed + uint64(r)*100003,
 			Recorder:   cfg.Recorder,
+			Trace:      cfg.Trace,
 			Fault:      cfg.Fault,
 		})
 		if err != nil {

@@ -49,6 +49,11 @@ type Config struct {
 	// Recorder is an optional telemetry sink threaded through to the
 	// MPC engine and transport (nil disables).
 	Recorder obs.Recorder
+
+	// Trace is an optional distributed-tracing context: events gain
+	// (trace, party, lclock) stamps and land in per-party flight
+	// recorders (nil disables).
+	Trace *obs.TraceContext
 }
 
 func (c *Config) normalize() error {
@@ -236,6 +241,7 @@ func TrainSQM(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		Parties:  cfg.Parties,
 		Seed:     cfg.Seed,
 		Recorder: cfg.Recorder,
+		Trace:    cfg.Trace,
 		Fault:    cfg.Fault,
 	})
 	if err != nil {
@@ -293,6 +299,7 @@ func TrainSQMOrder3(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 		Parties:  cfg.Parties,
 		Seed:     cfg.Seed,
 		Recorder: cfg.Recorder,
+		Trace:    cfg.Trace,
 		Fault:    cfg.Fault,
 	}, 0)
 	if err != nil {

@@ -6,10 +6,21 @@ import (
 	"net/http/pprof"
 )
 
-// MetricsHandler serves the registry as a JSON document (expvar-style:
-// one object per metric, histograms summarized). A nil registry serves
-// an empty list.
+// MetricsHandler serves the registry in the Prometheus/OpenMetrics text
+// exposition format ("# TYPE" lines, cumulative histogram buckets), so
+// a stock Prometheus scrape of /metrics works unmodified. A nil
+// registry serves an empty body.
 func MetricsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_, _ = m.WritePrometheus(w)
+	})
+}
+
+// MetricsJSONHandler serves the registry as a JSON document
+// (expvar-style: one object per metric, histograms summarized). A nil
+// registry serves an empty list.
+func MetricsJSONHandler(m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -22,13 +33,14 @@ func MetricsHandler(m *Metrics) http.Handler {
 	})
 }
 
-// NewDebugMux builds the operator debug endpoint: /metrics dumps the
-// registry as JSON and /debug/pprof/* exposes the runtime profiles.
-// Serve it on a loopback or firewalled port — it is diagnostics, not a
-// public API.
+// NewDebugMux builds the operator debug endpoint: /metrics serves the
+// Prometheus text format, /metrics.json the JSON snapshot, and
+// /debug/pprof/* the runtime profiles. Serve it on a loopback or
+// firewalled port — it is diagnostics, not a public API.
 func NewDebugMux(m *Metrics) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(m))
+	mux.Handle("/metrics.json", MetricsJSONHandler(m))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -183,16 +183,26 @@ func bucketOf(v float64) int {
 	return b
 }
 
-// HistogramSnapshot is a histogram's summarized state.
-type HistogramSnapshot struct {
+// HistBucket is one cumulative histogram bucket: Count observations
+// were <= LE (the Prometheus bucket convention).
+type HistBucket struct {
+	LE    float64 `json:"le"`
 	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+}
+
+// HistogramSnapshot is a histogram's summarized state. Buckets holds
+// the cumulative distribution up to the last non-empty bucket; the
+// implicit +Inf bucket equals Count.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
 // Snapshot summarizes the histogram; zero value for a nil handle.
@@ -213,6 +223,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50 = h.quantileLocked(0.50)
 	s.P95 = h.quantileLocked(0.95)
 	s.P99 = h.quantileLocked(0.99)
+	last := -1
+	for i, n := range h.buckets {
+		if n > 0 {
+			last = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += h.buckets[i]
+		s.Buckets = append(s.Buckets, HistBucket{LE: histBase * math.Pow(2, float64(i)), Count: cum})
+	}
 	return s
 }
 

@@ -255,12 +255,26 @@ func TestDebugMux(t *testing.T) {
 	if rw.Code != 200 {
 		t.Fatalf("/metrics status %d", rw.Code)
 	}
+	if ct := rw.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body := rw.Body.String()
+	if !strings.Contains(body, "# TYPE transport_messages counter") ||
+		!strings.Contains(body, "transport_messages 12") {
+		t.Fatalf("unexpected /metrics body: %s", body)
+	}
+
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rw.Code != 200 {
+		t.Fatalf("/metrics.json status %d", rw.Code)
+	}
 	var points []MetricPoint
 	if err := json.Unmarshal(rw.Body.Bytes(), &points); err != nil {
-		t.Fatalf("/metrics not JSON: %v", err)
+		t.Fatalf("/metrics.json not JSON: %v", err)
 	}
 	if len(points) != 1 || points[0].Name != "transport.messages" || points[0].Value != 12 {
-		t.Fatalf("unexpected /metrics body: %v", points)
+		t.Fatalf("unexpected /metrics.json body: %v", points)
 	}
 
 	rw = httptest.NewRecorder()

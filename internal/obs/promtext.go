@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format served at /metrics.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry name into a Prometheus metric name:
+// letters, digits, underscores and colons only, so the dotted names the
+// repo uses ("transport.chan.bytes") become scrape-safe
+// ("transport_chan_bytes").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatLE renders a bucket bound for the le label.
+func formatLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus dumps the registry in the Prometheus/OpenMetrics text
+// exposition format: a "# TYPE" line per metric, plain samples for
+// counters and gauges, and the cumulative _bucket/_sum/_count triplet
+// for histograms. A nil registry writes nothing.
+func (m *Metrics) WritePrometheus(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, p := range m.Snapshot() {
+		name := promName(p.Name)
+		if err := emit("# TYPE %s %s\n", name, p.Type); err != nil {
+			return total, err
+		}
+		switch p.Type {
+		case "histogram":
+			h := p.Histogram
+			for _, b := range h.Buckets {
+				if err := emit("%s_bucket{le=%q} %d\n", name, formatLE(b.LE), b.Count); err != nil {
+					return total, err
+				}
+			}
+			if err := emit("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+				return total, err
+			}
+			if err := emit("%s_sum %s\n", name, strconv.FormatFloat(h.Sum, 'g', -1, 64)); err != nil {
+				return total, err
+			}
+			if err := emit("%s_count %d\n", name, h.Count); err != nil {
+				return total, err
+			}
+		case "counter":
+			if err := emit("%s %d\n", name, int64(p.Value)); err != nil {
+				return total, err
+			}
+		default:
+			if err := emit("%s %s\n", name, strconv.FormatFloat(p.Value, 'g', -1, 64)); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

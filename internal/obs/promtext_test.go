@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionShape pins the text exposition format: every
+// metric kind gets a "# TYPE" line, histograms expose the cumulative
+// _bucket/_sum/_count triplet ending at +Inf, and every sample line
+// parses as "name{labels} value".
+func TestPrometheusExpositionShape(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("transport.chan.frames").Add(7)
+	m.Gauge("dp.epsilon").Set(1.25)
+	h := m.Histogram("bgw.round.seconds")
+	h.Observe(0.5e-6) // bucket 0
+	h.Observe(3e-6)   // a later bucket
+	h.Observe(3e-6)
+
+	var buf bytes.Buffer
+	if _, err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE transport_chan_frames counter",
+		"transport_chan_frames 7",
+		"# TYPE dp_epsilon gauge",
+		"dp_epsilon 1.25",
+		"# TYPE bgw_round_seconds histogram",
+		`bgw_round_seconds_bucket{le="+Inf"} 3`,
+		"bgw_round_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") && strings.Contains(out, "_bucket{le=") {
+		// Dots may only appear inside numeric values and le labels, never
+		// in metric names.
+		for _, line := range strings.Split(out, "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			name := line[:strings.IndexAny(line, "{ ")]
+			if strings.Contains(name, ".") {
+				t.Errorf("metric name %q not sanitized", name)
+			}
+		}
+	}
+
+	// Buckets must be cumulative and end exactly at the total count.
+	bucketRe := regexp.MustCompile(`^bgw_round_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	var prev int64 = -1
+	var last int64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		mm := bucketRe.FindStringSubmatch(sc.Text())
+		if mm == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(mm[2], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count %q: %v", mm[2], err)
+		}
+		if n < prev {
+			t.Fatalf("buckets not cumulative: %d after %d", n, prev)
+		}
+		prev, last = n, n
+	}
+	if last != 3 {
+		t.Fatalf("final (+Inf) bucket = %d, want 3", last)
+	}
+
+	var nilReg *Metrics
+	var empty bytes.Buffer
+	if _, err := nilReg.WritePrometheus(&empty); err != nil || empty.Len() != 0 {
+		t.Fatalf("nil registry must write nothing: %v %q", err, empty.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"transport.chan.link.0_1.bytes": "transport_chan_link_0_1_bytes",
+		"dp.epsilon":                    "dp_epsilon",
+		"9lives":                        "_9lives",
+		"already_fine":                  "already_fine",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -42,6 +42,10 @@ type Config struct {
 	// Recorder is an optional telemetry sink threaded through to the
 	// MPC engine and transport (nil disables).
 	Recorder obs.Recorder
+	// Trace is an optional distributed-tracing context: events gain
+	// (trace, party, lclock) stamps and land in per-party flight
+	// recorders (nil disables).
+	Trace *obs.TraceContext
 	// Engine selects the SQM evaluation backend (plain by default).
 	Engine core.EngineKind
 	// Parties is the BGW party count when Engine is EngineBGW.
@@ -174,6 +178,7 @@ func SQM(x *linalg.Matrix, cfg Config) (*Result, error) {
 		Parties:    cfg.Parties,
 		Seed:       cfg.Seed,
 		Recorder:   cfg.Recorder,
+		Trace:      cfg.Trace,
 		Fault:      cfg.Fault,
 	})
 	if err != nil {

@@ -230,6 +230,12 @@ func (r *sessionRun) drop(i int, cause error) {
 // runSession drives the lifecycle over pre-established connection pairs
 // (cliConns[i] is client i's end, srvConns[i] the coordinator's).
 func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]int64, error), cliConns, srvConns []net.Conn, o sessionOptions) ([]SessionOutcome, error) {
+	if o.traceDir != "" && o.trace == nil {
+		o.trace = obs.NewTraceContext(SessionTraceID(p), 0)
+	}
+	if o.trace != nil && obs.TraceOf(o.rec) == nil {
+		o.rec = o.trace.Coordinator().Wrap(o.rec)
+	}
 	so := newSessionObs(o.rec)
 	n := len(hooks)
 	r := &sessionRun{
@@ -352,6 +358,16 @@ func runSession(p Params, hooks []ClientHooks, evaluate func(round uint32) ([]in
 		so.event(obs.LevelInfo, "session.done",
 			obs.Int("clients", n), obs.Int("live", r.nLive),
 			obs.Int("dropped", r.dropped), obs.Int("rounds", int(p.Rounds)))
+	}
+	// The flight recorders dump on every exit path — an aborted session
+	// leaves its black box behind, which is the whole point of one.
+	if o.trace != nil && o.traceDir != "" {
+		if paths, derr := o.trace.DumpAll(o.traceDir); derr != nil {
+			so.event(obs.LevelWarn, "session.trace_dump_failed", obs.String("err", derr.Error()))
+		} else {
+			so.event(obs.LevelInfo, "session.trace_dump",
+				obs.String("dir", o.traceDir), obs.Int("files", len(paths)))
+		}
 	}
 	return r.outcomes, coordErr
 }

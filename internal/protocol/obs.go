@@ -16,6 +16,8 @@ type sessionOptions struct {
 	maxDropouts int
 	onDrop      func(client int, err error)
 	ctx         context.Context
+	trace       *obs.TraceContext
+	traceDir    string
 }
 
 // WithRecorder attaches an observability recorder to the session run:
@@ -25,6 +27,32 @@ type sessionOptions struct {
 // registry. A nil recorder disables telemetry at zero cost.
 func WithRecorder(rec obs.Recorder) SessionOption {
 	return func(o *sessionOptions) { o.rec = rec }
+}
+
+// WithTrace attaches a distributed-tracing context to the session: the
+// coordinator's lifecycle events are stamped with (trace, party,
+// lclock) and captured by the context's flight recorder, alongside
+// whatever the evaluate callback's engine records on the same context.
+// Tracing works without a recorder — the flight recorder captures
+// everything regardless of log level.
+func WithTrace(tc *obs.TraceContext) SessionOption {
+	return func(o *sessionOptions) { o.trace = tc }
+}
+
+// WithTraceDir makes the session dump every flight-recorder stream as
+// JSONL into dir when it ends — normally or with an error, so a crashed
+// session still leaves its black box behind. Without WithTrace, a
+// coordinator-only context is derived from the session params
+// (SessionTraceID).
+func WithTraceDir(dir string) SessionOption {
+	return func(o *sessionOptions) { o.traceDir = dir }
+}
+
+// SessionTraceID derives the deterministic trace id of a session from
+// its public parameters, so every participant (and a replay) computes
+// the same id without coordination.
+func SessionTraceID(p Params) obs.TraceID {
+	return obs.DeriveTraceID(p.Seed, uint64(p.NumClients), uint64(p.Rounds), uint64(p.OutDim))
 }
 
 func applySessionOptions(opts []SessionOption) sessionOptions {

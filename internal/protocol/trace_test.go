@@ -1,0 +1,100 @@
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sqm/internal/obs"
+)
+
+func TestSessionTraceIDDeterministic(t *testing.T) {
+	p := sessionParams(3, 2)
+	if SessionTraceID(p) != SessionTraceID(p) {
+		t.Fatal("trace id not deterministic")
+	}
+	q := p
+	q.Seed++
+	if SessionTraceID(p) == SessionTraceID(q) {
+		t.Fatal("trace id ignores the seed")
+	}
+}
+
+// TestSessionTraceDumpsOnCompletion: a traced session stamps its
+// lifecycle events into the coordinator's flight recorder and dumps
+// every stream as parseable JSONL into the trace dir.
+func TestSessionTraceDumpsOnCompletion(t *testing.T) {
+	const n = 3
+	p := sessionParams(n, 2)
+	tc := obs.NewTraceContext(SessionTraceID(p), 0)
+	dir := t.TempDir()
+	_, err := RunSession(p, okHooks(n),
+		func(uint32) ([]int64, error) { return []int64{7}, nil },
+		WithTrace(tc), WithTraceDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "trace-*-coord.jsonl"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("coord dump missing: %v %v", files, err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var lastLC float64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("unparseable dump line %q: %v", line, err)
+		}
+		names = append(names, ev.Name)
+		if ev.Attrs["trace"] != tc.ID().String() {
+			t.Fatalf("event %s has trace %v, want %s", ev.Name, ev.Attrs["trace"], tc.ID())
+		}
+		lc, ok := ev.Attrs["lclock"].(float64)
+		if !ok || lc <= lastLC {
+			t.Fatalf("coordinator lclocks not strictly increasing at %s: %v after %v", ev.Name, lc, lastLC)
+		}
+		lastLC = lc
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"session.start", "session.round", "session.done"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("dump missing %s event: %v", want, names)
+		}
+	}
+}
+
+// TestSessionTraceDumpsOnError: the flight recorder is a black box — it
+// must dump even when the session aborts.
+func TestSessionTraceDumpsOnError(t *testing.T) {
+	const n = 2
+	p := sessionParams(n, 1)
+	dir := t.TempDir()
+	boom := errors.New("evaluate exploded")
+	_, err := RunSession(p, okHooks(n),
+		func(uint32) ([]int64, error) { return nil, boom },
+		WithTraceDir(dir)) // no WithTrace: coordinator-only context auto-derived
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want evaluate failure", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "trace-*-coord.jsonl"))
+	if len(files) != 1 {
+		t.Fatalf("aborted session left no dump: %v", files)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "session.abort") {
+		t.Fatalf("dump missing the abort event:\n%s", raw)
+	}
+}

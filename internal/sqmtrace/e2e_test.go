@@ -1,0 +1,95 @@
+package sqmtrace
+
+import (
+	"testing"
+
+	"sqm/internal/core"
+	"sqm/internal/linalg"
+	"sqm/internal/obs"
+	"sqm/internal/randx"
+)
+
+// TestE2ETimelineFromTCPLogregSession is the acceptance test for the
+// tracing stack: run a 3-party logistic-regression gradient session
+// over the TCP mesh with a shared trace context, dump every party's
+// flight recorder, and rebuild the timeline. Every cross-party
+// send/recv pair must match by (trace, lclock) and the per-party round
+// counters must appear in causal order.
+func TestE2ETimelineFromTCPLogregSession(t *testing.T) {
+	const rows, cols, parties = 18, 3, 3
+	feat := linalg.NewMatrix(rows, cols)
+	rng := randx.New(41)
+	labels := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			feat.Set(i, j, rng.Float64()-0.5)
+		}
+		labels[i] = float64(i % 2)
+	}
+
+	tc := obs.NewTraceContext(obs.DeriveTraceID(17, parties), parties)
+	proto, err := core.NewLRProtocol(feat, labels, core.Params{
+		Gamma:   32,
+		Mu:      25,
+		Engine:  core.EngineActorBGWNet,
+		Parties: parties,
+		Seed:    17,
+		Trace:   tc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.2, -0.1, 0.4}
+	for round := 0; round < 2; round++ {
+		if _, _, err := proto.GradientSum(w, nil); err != nil {
+			proto.Close()
+			t.Fatalf("gradient round %d: %v", round, err)
+		}
+	}
+	if err := proto.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	files, err := tc.DumpAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != parties+1 { // coordinator + one stream per party
+		t.Fatalf("dumped %d files, want %d: %v", len(files), parties+1, files)
+	}
+
+	events, read, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := Build(events, read)
+
+	if tl.Trace != tc.ID().String() {
+		t.Fatalf("timeline trace = %q, want %q", tl.Trace, tc.ID())
+	}
+	if tl.Match.Matched == 0 {
+		t.Fatal("no cross-party send/recv pairs matched")
+	}
+	if len(tl.Match.UnmatchedRecvs) != 0 {
+		t.Fatalf("%d receives with no matching send: %v",
+			len(tl.Match.UnmatchedRecvs), tl.Match.UnmatchedRecvs)
+	}
+	if len(tl.Match.UnmatchedSends) != 0 {
+		t.Fatalf("%d sends never received: %v",
+			len(tl.Match.UnmatchedSends), tl.Match.UnmatchedSends)
+	}
+	if !tl.CausalOrderOK {
+		t.Fatal("round counters regress in merged causal order")
+	}
+	// Every mesh party contributed events to the merged timeline.
+	seen := map[int]bool{}
+	for _, ev := range tl.Events {
+		seen[ev.Party] = true
+	}
+	for p := 0; p < parties; p++ {
+		if !seen[p] {
+			t.Fatalf("party %d missing from merged timeline (parties seen: %v)", p, seen)
+		}
+	}
+}

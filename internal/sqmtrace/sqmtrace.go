@@ -1,0 +1,424 @@
+// Package sqmtrace reconstructs one causally ordered timeline from the
+// per-party flight-recorder dumps a traced session leaves behind
+// (obs.TraceContext.DumpAll). Every event carries the Lamport stamp its
+// party assigned; merging all streams sorted by (lclock, party, seq) is
+// a valid causal order because e happens-before f implies
+// lclock(e) < lclock(f). Cross-party edges are recovered by pairing
+// each transport.recv's remote_lclock with the transport.send that
+// carried the same stamp over the same directed link.
+package sqmtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// PartyUnknown marks an event whose dump carried no party attribute.
+const PartyUnknown = -2
+
+// Event is one flight-recorder event, enriched with the parsed trace
+// stamp. Party -1 is the coordinator stream (obs.CoordParty).
+type Event struct {
+	Party  int            `json:"party"`
+	Seq    uint64         `json:"seq"`
+	WallNS int64          `json:"wall_ns"`
+	Level  int8           `json:"level"`
+	Name   string         `json:"name"`
+	Trace  string         `json:"trace,omitempty"`
+	LClock int64          `json:"lclock"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	File   string         `json:"-"`
+}
+
+// attrInt extracts an integer attribute (JSON numbers decode as
+// float64).
+func attrInt(attrs map[string]any, key string) (int64, bool) {
+	switch v := attrs[key].(type) {
+	case float64:
+		return int64(v), true
+	case int64:
+		return v, true
+	}
+	return 0, false
+}
+
+// ReadFile parses one JSONL dump. Lines that fail to parse abort with
+// an error naming the line — a truncated dump should be loud, not
+// silently short.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var raw struct {
+			Seq    uint64         `json:"seq"`
+			WallNS int64          `json:"wall_ns"`
+			Level  int8           `json:"level"`
+			Name   string         `json:"name"`
+			Attrs  map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			return nil, fmt.Errorf("sqmtrace: %s:%d: %w", path, lineNo, err)
+		}
+		ev := Event{
+			Party: PartyUnknown, Seq: raw.Seq, WallNS: raw.WallNS,
+			Level: raw.Level, Name: raw.Name, Attrs: raw.Attrs, File: path,
+		}
+		if p, ok := attrInt(raw.Attrs, "party"); ok {
+			ev.Party = int(p)
+		}
+		if lc, ok := attrInt(raw.Attrs, "lclock"); ok {
+			ev.LClock = lc
+		}
+		if tr, ok := raw.Attrs["trace"].(string); ok {
+			ev.Trace = tr
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sqmtrace: %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// ReadFiles parses every dump and concatenates the events.
+func ReadFiles(paths []string) ([]Event, error) {
+	var all []Event
+	for _, p := range paths {
+		evs, err := ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, evs...)
+	}
+	return all, nil
+}
+
+// ReadDir parses every trace-*.jsonl dump in dir.
+func ReadDir(dir string) ([]Event, []string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "trace-*.jsonl"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("sqmtrace: no trace-*.jsonl dumps in %s", dir)
+	}
+	sort.Strings(paths)
+	evs, err := ReadFiles(paths)
+	return evs, paths, err
+}
+
+// Merge sorts the combined streams into causal order: primarily by
+// Lamport stamp, with (party, seq) breaking ties between concurrent
+// events deterministically.
+func Merge(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.LClock != b.LClock {
+			return a.LClock < b.LClock
+		}
+		if a.Party != b.Party {
+			return a.Party < b.Party
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// LinkStat summarizes the matched traffic of one directed link.
+type LinkStat struct {
+	From, To int     `json:"-"`
+	Link     string  `json:"link"`
+	Matched  int     `json:"matched"`
+	MeanMS   float64 `json:"mean_ms"` // send→recv wall-clock (same-host dumps)
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// MatchReport is the result of pairing sends with receives.
+type MatchReport struct {
+	Matched        int        `json:"matched"`
+	UnmatchedSends []Event    `json:"unmatched_sends,omitempty"`
+	UnmatchedRecvs []Event    `json:"unmatched_recvs,omitempty"`
+	Links          []LinkStat `json:"links,omitempty"`
+	// Straggler names the matched link with the highest mean latency —
+	// the first place to look when a round is slow.
+	Straggler string `json:"straggler,omitempty"`
+}
+
+type sendKey struct {
+	from, to int
+	lclock   int64
+}
+
+// MatchSendRecv pairs every transport.recv with the transport.send
+// whose Lamport stamp it echoes in remote_lclock, per directed link. An
+// unmatched send is a frame that was dropped, cut, or still in flight
+// at dump time; an unmatched recv indicates a lost or truncated sender
+// dump.
+func MatchSendRecv(events []Event) MatchReport {
+	sends := make(map[sendKey]Event)
+	var r MatchReport
+	type linkAgg struct {
+		n     int
+		sumNS int64
+		maxNS int64
+	}
+	links := make(map[[2]int]*linkAgg)
+	for _, ev := range events {
+		if ev.Name != "transport.send" {
+			continue
+		}
+		to, ok := attrInt(ev.Attrs, "peer")
+		if !ok {
+			continue
+		}
+		sends[sendKey{from: ev.Party, to: int(to), lclock: ev.LClock}] = ev
+	}
+	for _, ev := range events {
+		if ev.Name != "transport.recv" {
+			continue
+		}
+		from, ok1 := attrInt(ev.Attrs, "peer")
+		remote, ok2 := attrInt(ev.Attrs, "remote_lclock")
+		if !ok1 || !ok2 {
+			continue
+		}
+		key := sendKey{from: int(from), to: ev.Party, lclock: remote}
+		send, ok := sends[key]
+		if !ok {
+			r.UnmatchedRecvs = append(r.UnmatchedRecvs, ev)
+			continue
+		}
+		delete(sends, key)
+		r.Matched++
+		lk := [2]int{int(from), ev.Party}
+		agg := links[lk]
+		if agg == nil {
+			agg = &linkAgg{}
+			links[lk] = agg
+		}
+		agg.n++
+		if d := ev.WallNS - send.WallNS; d > 0 {
+			agg.sumNS += d
+			if d > agg.maxNS {
+				agg.maxNS = d
+			}
+		}
+	}
+	for _, ev := range sends {
+		r.UnmatchedSends = append(r.UnmatchedSends, ev)
+	}
+	sort.Slice(r.UnmatchedSends, func(i, j int) bool {
+		return r.UnmatchedSends[i].LClock < r.UnmatchedSends[j].LClock
+	})
+	var worst float64
+	for lk, agg := range links {
+		ls := LinkStat{
+			From: lk[0], To: lk[1],
+			Link:    fmt.Sprintf("%d->%d", lk[0], lk[1]),
+			Matched: agg.n,
+			MeanMS:  float64(agg.sumNS) / float64(agg.n) / 1e6,
+			MaxMS:   float64(agg.maxNS) / 1e6,
+		}
+		r.Links = append(r.Links, ls)
+		if ls.MeanMS > worst {
+			worst = ls.MeanMS
+			r.Straggler = ls.Link
+		}
+	}
+	sort.Slice(r.Links, func(i, j int) bool { return r.Links[i].Link < r.Links[j].Link })
+	return r
+}
+
+// RoundStat is one communication round observed on a stream.
+type RoundStat struct {
+	Party    int     `json:"party"`
+	Round    int64   `json:"round"`
+	Seconds  float64 `json:"seconds"`
+	Frames   int64   `json:"frames,omitempty"`
+	Messages int64   `json:"messages,omitempty"`
+}
+
+// Rounds extracts the bgw.round and session.round boundaries from the
+// merged timeline, in causal order.
+func Rounds(merged []Event) []RoundStat {
+	var out []RoundStat
+	for _, ev := range merged {
+		if ev.Name != "bgw.round" && ev.Name != "session.round" {
+			continue
+		}
+		round, ok := attrInt(ev.Attrs, "round")
+		if !ok {
+			continue
+		}
+		rs := RoundStat{Party: ev.Party, Round: round}
+		if s, ok := ev.Attrs["seconds"].(float64); ok {
+			rs.Seconds = s
+		}
+		rs.Frames, _ = attrInt(ev.Attrs, "frames")
+		rs.Messages, _ = attrInt(ev.Attrs, "messages")
+		out = append(out, rs)
+	}
+	return out
+}
+
+// CheckRoundOrder verifies that, within the merged causal order, every
+// stream's round counters are nondecreasing — the acceptance check that
+// the Lamport merge reconstructed a consistent history. A drop back to
+// round 1 is not a violation: each engine numbers its rounds from 1, so
+// a session running several evaluations in sequence legitimately
+// restarts the counter. Returns the first violating event, if any.
+func CheckRoundOrder(merged []Event) (Event, bool) {
+	last := make(map[[2]int]int64) // (party, kind) -> last round
+	kinds := map[string]int{"bgw.round": 0, "session.round": 1}
+	for _, ev := range merged {
+		kind, ok := kinds[ev.Name]
+		if !ok {
+			continue
+		}
+		round, ok := attrInt(ev.Attrs, "round")
+		if !ok {
+			continue
+		}
+		key := [2]int{ev.Party, kind}
+		if prev, seen := last[key]; seen && round < prev && round > 1 {
+			return ev, false
+		}
+		last[key] = round
+	}
+	return Event{}, true
+}
+
+// BudgetEvent is one privacy-ledger entry surfaced on the timeline.
+type BudgetEvent struct {
+	Name      string  `json:"name"`
+	LClock    int64   `json:"lclock"`
+	Eps       float64 `json:"eps"`
+	Remaining float64 `json:"remaining,omitempty"`
+	Exceeded  bool    `json:"exceeded,omitempty"`
+}
+
+// BudgetEvents extracts the dp.Accountant's release and budget events.
+func BudgetEvents(merged []Event) []BudgetEvent {
+	var out []BudgetEvent
+	for _, ev := range merged {
+		if ev.Name != "dp.release" && ev.Name != "dp.budget_exceeded" {
+			continue
+		}
+		be := BudgetEvent{Name: ev.Name, LClock: ev.LClock, Exceeded: ev.Name == "dp.budget_exceeded"}
+		if e, ok := ev.Attrs["eps"].(float64); ok {
+			be.Eps = e
+		}
+		if rem, ok := ev.Attrs["remaining"].(float64); ok {
+			be.Remaining = rem
+		}
+		out = append(out, be)
+	}
+	return out
+}
+
+// Timeline is the full reconstruction: the merged event stream plus the
+// derived reports.
+type Timeline struct {
+	Trace         string        `json:"trace"`
+	Files         []string      `json:"files,omitempty"`
+	Parties       []int         `json:"parties"`
+	Events        []Event       `json:"events"`
+	Match         MatchReport   `json:"match"`
+	Rounds        []RoundStat   `json:"rounds,omitempty"`
+	Budget        []BudgetEvent `json:"budget,omitempty"`
+	CausalOrderOK bool          `json:"causal_order_ok"`
+}
+
+// Build merges the raw events and derives every report.
+func Build(events []Event, files []string) *Timeline {
+	merged := Merge(events)
+	tl := &Timeline{Files: files, Events: merged, Match: MatchSendRecv(merged), Rounds: Rounds(merged)}
+	tl.Budget = BudgetEvents(merged)
+	_, tl.CausalOrderOK = CheckRoundOrder(merged)
+	seen := make(map[int]bool)
+	for _, ev := range merged {
+		if tl.Trace == "" && ev.Trace != "" {
+			tl.Trace = ev.Trace
+		}
+		if ev.Party != PartyUnknown && !seen[ev.Party] {
+			seen[ev.Party] = true
+			tl.Parties = append(tl.Parties, ev.Party)
+		}
+	}
+	sort.Ints(tl.Parties)
+	return tl
+}
+
+// WriteJSON renders the timeline as one indented JSON document.
+func (tl *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tl)
+}
+
+// WriteText renders a human-readable summary followed by the merged
+// event listing.
+func (tl *Timeline) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace %s: %d events across %d streams\n", tl.Trace, len(tl.Events), len(tl.Parties))
+	fmt.Fprintf(bw, "send/recv: %d matched, %d unmatched sends, %d unmatched recvs\n",
+		tl.Match.Matched, len(tl.Match.UnmatchedSends), len(tl.Match.UnmatchedRecvs))
+	for _, ls := range tl.Match.Links {
+		fmt.Fprintf(bw, "  link %-8s %5d frames  mean %.3fms  max %.3fms\n", ls.Link, ls.Matched, ls.MeanMS, ls.MaxMS)
+	}
+	if tl.Match.Straggler != "" {
+		fmt.Fprintf(bw, "  straggler: %s\n", tl.Match.Straggler)
+	}
+	if !tl.CausalOrderOK {
+		fmt.Fprintf(bw, "WARNING: round counters regress within the merged order\n")
+	}
+	for _, be := range tl.Budget {
+		mark := ""
+		if be.Exceeded {
+			mark = "  ** BUDGET EXCEEDED **"
+		}
+		fmt.Fprintf(bw, "budget @%d %s eps=%.4f%s\n", be.LClock, be.Name, be.Eps, mark)
+	}
+	fmt.Fprintln(bw)
+	for _, ev := range tl.Events {
+		party := "coord"
+		if ev.Party >= 0 {
+			party = fmt.Sprintf("party%d", ev.Party)
+		} else if ev.Party == PartyUnknown {
+			party = "?"
+		}
+		fmt.Fprintf(bw, "%8d %-7s %s", ev.LClock, party, ev.Name)
+		keys := make([]string, 0, len(ev.Attrs))
+		for k := range ev.Attrs {
+			if k == "trace" || k == "party" || k == "lclock" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, " %s=%v", k, ev.Attrs[k])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,86 @@
+package sqmtrace
+
+import (
+	"testing"
+)
+
+func ev(party int, lclock int64, name string, attrs map[string]any) Event {
+	if attrs == nil {
+		attrs = map[string]any{}
+	}
+	return Event{Party: party, LClock: lclock, Name: name, Attrs: attrs}
+}
+
+func TestMergeSortsByLamportThenParty(t *testing.T) {
+	in := []Event{
+		ev(1, 5, "b", nil),
+		ev(0, 2, "a", nil),
+		ev(0, 5, "c", nil),
+		ev(-1, 1, "start", nil),
+	}
+	out := Merge(in)
+	want := []string{"start", "a", "c", "b"}
+	for i, w := range want {
+		if out[i].Name != w {
+			t.Fatalf("merged[%d] = %s, want %s", i, out[i].Name, w)
+		}
+	}
+}
+
+func TestMatchSendRecvPairsAndOrphans(t *testing.T) {
+	events := []Event{
+		ev(0, 3, "transport.send", map[string]any{"peer": float64(1)}),
+		ev(1, 4, "transport.recv", map[string]any{"peer": float64(0), "remote_lclock": float64(3)}),
+		// A dropped frame: sent but never received.
+		ev(0, 7, "transport.send", map[string]any{"peer": float64(2)}),
+		// A receive whose sender dump was lost.
+		ev(2, 9, "transport.recv", map[string]any{"peer": float64(1), "remote_lclock": float64(8)}),
+	}
+	r := MatchSendRecv(events)
+	if r.Matched != 1 {
+		t.Fatalf("matched = %d, want 1", r.Matched)
+	}
+	if len(r.UnmatchedSends) != 1 || r.UnmatchedSends[0].LClock != 7 {
+		t.Fatalf("unmatched sends = %v", r.UnmatchedSends)
+	}
+	if len(r.UnmatchedRecvs) != 1 || r.UnmatchedRecvs[0].LClock != 9 {
+		t.Fatalf("unmatched recvs = %v", r.UnmatchedRecvs)
+	}
+	if len(r.Links) != 1 || r.Links[0].Link != "0->1" {
+		t.Fatalf("links = %v", r.Links)
+	}
+}
+
+func TestCheckRoundOrder(t *testing.T) {
+	good := []Event{
+		ev(-1, 1, "bgw.round", map[string]any{"round": float64(1)}),
+		ev(-1, 2, "bgw.round", map[string]any{"round": float64(3)}),
+		ev(-1, 3, "session.round", map[string]any{"round": float64(0)}),
+		ev(0, 4, "bgw.round", map[string]any{"round": float64(1)}),
+		// A fresh engine restarts its counter at 1: not a violation.
+		ev(-1, 5, "bgw.round", map[string]any{"round": float64(1)}),
+	}
+	if _, ok := CheckRoundOrder(good); !ok {
+		t.Fatal("consistent rounds rejected")
+	}
+	bad := append(good, ev(-1, 6, "bgw.round", map[string]any{"round": float64(2)}),
+		ev(-1, 7, "bgw.round", map[string]any{"round": float64(4)}),
+		ev(-1, 8, "bgw.round", map[string]any{"round": float64(3)}))
+	if evt, ok := CheckRoundOrder(bad); ok || evt.LClock != 8 {
+		t.Fatalf("regressing round not flagged: %v %v", evt, ok)
+	}
+}
+
+func TestBudgetEvents(t *testing.T) {
+	events := []Event{
+		ev(-1, 2, "dp.release", map[string]any{"eps": 0.7, "remaining": 1.8}),
+		ev(-1, 9, "dp.budget_exceeded", map[string]any{"eps": 3.1}),
+	}
+	out := BudgetEvents(events)
+	if len(out) != 2 || out[0].Eps != 0.7 || out[0].Remaining != 1.8 {
+		t.Fatalf("budget events = %+v", out)
+	}
+	if !out[1].Exceeded {
+		t.Fatal("dp.budget_exceeded not flagged")
+	}
+}

@@ -100,6 +100,9 @@ func NewChanMesh(p int, opts ...Option) *ChanMesh {
 		panic(invariant.Violation("transport: mesh needs at least 2 parties, got %d", p))
 	}
 	o := applyOptions(opts)
+	if o.trace != nil && o.trace.Parties() != p {
+		panic(invariant.Violation("transport: tracer has %d party streams, mesh has %d", o.trace.Parties(), p))
+	}
 	m := &ChanMesh{p: p, queues: make([][]*queue, p), conns: make([]*chanConn, p)}
 	m.obs = newMeshObs(p, "transport.chan", o.rec)
 	for i := 0; i < p; i++ {
@@ -111,7 +114,7 @@ func NewChanMesh(p int, opts ...Option) *ChanMesh {
 		}
 	}
 	for i := 0; i < p; i++ {
-		m.conns[i] = &chanConn{mesh: m, id: i}
+		m.conns[i] = &chanConn{mesh: m, id: i, tr: newConnTrace(o.trace, i)}
 	}
 	return m
 }
@@ -153,6 +156,7 @@ func (m *ChanMesh) Close() error {
 type chanConn struct {
 	mesh    *ChanMesh
 	id      int
+	tr      *connTrace   // nil when tracing is disabled
 	timeout atomic.Int64 // receive deadline in nanoseconds; 0 blocks forever
 }
 
@@ -177,13 +181,15 @@ func (c *chanConn) SendN(to int, payload []byte, msgs int) error {
 	if msgs < 1 {
 		msgs = 1
 	}
-	if err := c.mesh.queues[c.id][to].push(payload); err != nil {
+	wire, lc := c.tr.stampSend(payload)
+	if err := c.mesh.queues[c.id][to].push(wire); err != nil {
 		return err
 	}
 	c.mesh.frames.Add(1)
 	c.mesh.messages.Add(int64(msgs))
 	c.mesh.bytes.Add(int64(len(payload)))
 	c.mesh.obs.onSend(c.id, to, len(payload), msgs)
+	c.tr.sent(lc, to, len(payload), msgs)
 	return nil
 }
 
@@ -195,6 +201,7 @@ func (c *chanConn) Recv(from int) ([]byte, error) {
 	switch {
 	case err == nil:
 		c.mesh.obs.onRecv(from, c.id)
+		b = c.tr.received(from, b)
 	case errors.Is(err, ErrTimeout):
 		c.mesh.obs.onTimeout(from, c.id)
 	}

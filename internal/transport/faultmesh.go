@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqm/internal/invariant"
+	"sqm/internal/obs"
 	"sqm/internal/randx"
 )
 
@@ -69,12 +70,17 @@ type FaultMesh struct {
 	closed  atomic.Bool
 }
 
-// NewFaultMesh wraps inner with the scripted faults.
-func NewFaultMesh(inner Mesh, profile FaultProfile) *FaultMesh {
+// NewFaultMesh wraps inner with the scripted faults. Pass WithTracer to
+// record the injected faults (drop, cut, delay, crash) as warn/debug
+// events on the affected party's flight-recorder stream; the tracer is
+// normally the same context the inner mesh was built with, so fault
+// events interleave with the send/recv events they explain.
+func NewFaultMesh(inner Mesh, profile FaultProfile, opts ...Option) *FaultMesh {
 	p := inner.Parties()
+	o := applyOptions(opts)
 	m := &FaultMesh{inner: inner, profile: profile, conns: make([]*faultConn, p)}
 	for i := 0; i < p; i++ {
-		fc := &faultConn{mesh: m, id: i, inner: inner.Conn(i), links: make([]*faultLink, p)}
+		fc := &faultConn{mesh: m, id: i, inner: inner.Conn(i), links: make([]*faultLink, p), tr: newConnTrace(o.trace, i)}
 		crashAfter := 0
 		if profile.CrashAfterSends != nil {
 			crashAfter = profile.CrashAfterSends[i]
@@ -225,8 +231,9 @@ type faultConn struct {
 	id         int
 	inner      PartyConn
 	links      []*faultLink
-	sends      int // accepted sends across all links (crash accounting)
-	crashAfter int // profile budget; 0 means never
+	tr         *connTrace // nil when tracing is disabled
+	sends      int        // accepted sends across all links (crash accounting)
+	crashAfter int        // profile budget; 0 means never
 	crashed    atomic.Bool
 }
 
@@ -259,14 +266,18 @@ func (c *faultConn) SendN(to int, payload []byte, msgs int) error {
 	}
 	if l.fault.CutAfter > 0 && l.delivered >= l.fault.CutAfter {
 		c.mesh.stats.cuts.Add(1)
+		c.tr.fault(obs.LevelWarn, "transport.fault.cut", obs.Int("peer", to), obs.Int("bytes", len(payload)))
 		return nil
 	}
 	if l.rng != nil && l.rng.Float64() < l.fault.DropProb {
 		c.mesh.stats.drops.Add(1)
+		c.tr.fault(obs.LevelWarn, "transport.fault.drop", obs.Int("peer", to), obs.Int("bytes", len(payload)))
 		return nil
 	}
 	l.delivered++
 	if l.delay != nil {
+		c.tr.fault(obs.LevelDebug, "transport.fault.delay",
+			obs.Int("peer", to), obs.Duration("delay", l.fault.Delay))
 		l.delayMsgs.push(msgs)
 		if err := l.delay.push(payload); err != nil {
 			return ErrClosed
@@ -297,6 +308,7 @@ func (c *faultConn) crash() {
 		return
 	}
 	c.mesh.stats.crashes.Add(1)
+	c.tr.fault(obs.LevelWarn, "transport.fault.crash", obs.Int("sends", c.sends))
 	c.stopLinks()
 	_ = c.inner.Close()
 }

@@ -40,6 +40,7 @@ type netConn struct {
 	mesh    *NetMesh
 	id      int
 	links   []*link
+	tr      *connTrace   // nil when tracing is disabled
 	timeout atomic.Int64 // receive deadline in nanoseconds; 0 blocks forever
 }
 
@@ -87,10 +88,13 @@ func NewNetMesh(p int, pair, peer [][]net.Conn, opts ...Option) (*NetMesh, error
 		return nil, fmt.Errorf("transport: mesh needs at least 2 parties, got %d", p)
 	}
 	o := applyOptions(opts)
+	if o.trace != nil && o.trace.Parties() != p {
+		return nil, fmt.Errorf("transport: tracer has %d party streams, mesh has %d", o.trace.Parties(), p)
+	}
 	m := &NetMesh{p: p, conns: make([]*netConn, p)}
 	m.obs = newMeshObs(p, "transport.net", o.rec)
 	for i := 0; i < p; i++ {
-		m.conns[i] = &netConn{mesh: m, id: i, links: make([]*link, p)}
+		m.conns[i] = &netConn{mesh: m, id: i, links: make([]*link, p), tr: newConnTrace(o.trace, i)}
 	}
 	for i := 0; i < p; i++ {
 		for j := i + 1; j < p; j++ {
@@ -254,7 +258,8 @@ func (c *netConn) SendN(to int, payload []byte, msgs int) error {
 	if err, ok := l.werr.Load().(error); ok {
 		return wrapClosed(err)
 	}
-	frame := encodeShareFrame(uint32(c.id), payload)
+	wire, lc := c.tr.stampSend(payload)
+	frame := encodeShareFrame(uint32(c.id), wire)
 	if err := l.out.push(frame); err != nil {
 		return err
 	}
@@ -262,6 +267,7 @@ func (c *netConn) SendN(to int, payload []byte, msgs int) error {
 	c.mesh.messages.Add(int64(msgs))
 	c.mesh.bytes.Add(int64(len(payload)))
 	c.mesh.obs.onSend(c.id, to, len(payload), msgs)
+	c.tr.sent(lc, to, len(payload), msgs)
 	return nil
 }
 
@@ -297,7 +303,7 @@ func (c *netConn) Recv(from int) ([]byte, error) {
 		return nil, fmt.Errorf("transport: party %d expected sender %d, frame claims %d", c.id, from, m.Session)
 	}
 	c.mesh.obs.onRecv(from, c.id)
-	return m.Payload, nil
+	return c.tr.received(from, m.Payload), nil
 }
 
 // Close tears down this party's links, cascading EOFs to its peers.

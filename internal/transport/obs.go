@@ -18,8 +18,9 @@ import (
 type Option func(*options)
 
 type options struct {
-	rec  obs.Recorder
-	dial retry.Policy
+	rec   obs.Recorder
+	dial  retry.Policy
+	trace *obs.TraceContext
 }
 
 // WithRecorder attaches an observability recorder: the mesh reports
@@ -29,6 +30,16 @@ type options struct {
 // zero cost.
 func WithRecorder(rec obs.Recorder) Option {
 	return func(o *options) { o.rec = rec }
+}
+
+// WithTracer attaches a session trace context: every frame is prefixed
+// with a TraceHeaderLen-byte header carrying (trace, sender, Lamport
+// stamp), and each endpoint records transport.send/transport.recv
+// events into its party's flight recorder. The context must carry
+// exactly one stream per mesh party. A nil context disables tracing at
+// zero cost.
+func WithTracer(tc *obs.TraceContext) Option {
+	return func(o *options) { o.trace = tc }
 }
 
 // WithDialRetry retries the TCP mesh's pair dials under the given

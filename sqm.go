@@ -214,6 +214,27 @@ func NewLogRecorder(w io.Writer, format string, min obs.Level) *obs.LogRecorder 
 // registry is attached.
 func NopRecorder() Recorder { return obs.Nop() }
 
+// TraceID identifies one distributed trace (a whole session across
+// every party).
+type TraceID = obs.TraceID
+
+// TraceContext is the per-session tracing root: one Lamport-clocked
+// event stream per party plus the coordinator, each backed by a bounded
+// flight recorder that dumps JSONL on session end (see
+// TraceContext.DumpAll). Attach via Params.Trace or WithSessionTrace;
+// merge the dumps with cmd/sqmtrace.
+type TraceContext = obs.TraceContext
+
+// NewTraceContext builds a tracing root for the given party count
+// (0 for a coordinator-only trace).
+func NewTraceContext(id TraceID, parties int) *TraceContext {
+	return obs.NewTraceContext(id, parties)
+}
+
+// DeriveTraceID deterministically mixes the inputs (seed, party count,
+// ...) into a trace id, keeping traced runs reproducible.
+func DeriveTraceID(parts ...uint64) TraceID { return obs.DeriveTraceID(parts...) }
+
 // GroupPrivacy converts a record-level (ε, δ) guarantee to a k-record
 // (user-level) one via the standard group-privacy bound — the baseline
 // for the paper's user-level future-work direction.
@@ -463,6 +484,19 @@ type SessionOption = protocol.SessionOption
 // session.round, session.done, ...) and times every phase into the
 // recorder's metrics registry.
 func WithSessionRecorder(rec Recorder) SessionOption { return protocol.WithRecorder(rec) }
+
+// WithSessionTrace attaches a distributed-tracing context: every
+// session event gains (trace, party, lclock) stamps and is captured by
+// the coordinator's flight recorder. Share the same context with the
+// per-round evaluation (Params.Trace) to stitch mesh traffic into the
+// same timeline.
+func WithSessionTrace(tc *TraceContext) SessionOption { return protocol.WithTrace(tc) }
+
+// WithSessionTraceDir makes the session dump every party's flight
+// recorder as JSONL into dir on the way out — completed or aborted.
+// When no WithSessionTrace context was given, a coordinator-only one is
+// derived from the session params. Merge the dumps with cmd/sqmtrace.
+func WithSessionTraceDir(dir string) SessionOption { return protocol.WithTraceDir(dir) }
 
 // RunVFLSession executes the full SQM session lifecycle — hello,
 // parameter commitment, evaluation rounds, result broadcast — over the

@@ -46,10 +46,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The accountant is the privacy ledger: every protocol invocation
+	// that carries it records its release, and ε(δ) below is derived
+	// from what was actually spent rather than from the calibration.
+	acct := sqm.NewAccountant(0)
+
 	est, trace, err := sqm.EvaluateMonomialSum(target, x, sqm.Params{
 		Gamma: gamma,
 		Mu:    mu,
 		Seed:  7,
+		Acct:  acct,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -66,6 +72,7 @@ func main() {
 		Mu:     mu,
 		Seed:   7,
 		Engine: sqm.EngineBGW,
+		Acct:   acct,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,4 +80,10 @@ func main() {
 	fmt.Printf("BGW estimate        : %.6f (identical: %v)\n", estMPC, mathx.EqualWithin(estMPC, est, 0))
 	fmt.Printf("BGW cost            : %d rounds, %d messages, simulated time %v\n",
 		traceMPC.Stats.Rounds, traceMPC.Stats.Messages, traceMPC.TotalTime().Round(1e6))
+
+	// Two releases of the same statistic compose: the ledger's ε is
+	// roughly double the per-release budget.
+	eps, alpha := acct.Epsilon(1e-5)
+	fmt.Printf("privacy ledger      : ε(δ=1e-5) = %.3f @ α=%d over %d releases\n",
+		eps, alpha, acct.Releases())
 }

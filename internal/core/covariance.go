@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -11,6 +12,16 @@ import (
 	"sqm/internal/quant"
 	"sqm/internal/randx"
 )
+
+// CovarianceSensitivities returns Lemma 5's L2/L1 sensitivities of the
+// quantized covariance release for records with ‖x‖₂ <= c over n
+// attributes: Δ₂ = γ²c² + n, Δ₁ = min(Δ₂², √d·Δ₂) with d = n².
+func CovarianceSensitivities(gamma, c float64, n int) (delta2, delta1 float64) {
+	delta2 = gamma*gamma*c*c + float64(n)
+	d := float64(n) * float64(n)
+	delta1 = math.Min(delta2*delta2, math.Sqrt(d)*delta2)
+	return delta2, delta1
+}
 
 // Covariance runs the PCA instantiation of SQM (§V-A): the clients
 // quantize their columns, jointly compute the Gram matrix X̂ᵀX̂ of the
@@ -23,6 +34,11 @@ import (
 func Covariance(x *linalg.Matrix, p Params) (*linalg.Matrix, *Trace, error) {
 	if err := p.normalize(x.Cols); err != nil {
 		return nil, nil, err
+	}
+	// Meter the release at Lemma 5's closed form for unit-norm records.
+	if p.Acct != nil {
+		d2, d1 := CovarianceSensitivities(p.Gamma, 1, x.Cols)
+		p.Acct.AddSkellam(d1, d2, p.Mu)
 	}
 	start := time.Now()
 	_, clientRNGs := rngFamily(p.Seed, p.NumClients)

@@ -33,6 +33,13 @@ func EvaluatePolynomialSum(f *poly.Multi, x *linalg.Matrix, p Params) ([]float64
 	if err != nil {
 		return nil, nil, err
 	}
+	// Meter the release: one Skellam mechanism at Lemma 4's generic
+	// sensitivity for unit-norm records. Tighter application-level
+	// bounds account at their own layer with Acct left nil here.
+	if p.Acct != nil {
+		d2, d1 := q.SensitivityBound(1)
+		p.Acct.AddSkellam(d1, d2, p.Mu)
+	}
 	qd := quantizeByClient(x, p, clientRNGs)
 
 	noiseStart := time.Now()
@@ -81,6 +88,14 @@ func EvaluateMonomialSum(m poly.Monomial, x *linalg.Matrix, p Params) (float64, 
 	start := time.Now()
 	_, clientRNGs := rngFamily(p.Seed, p.NumClients)
 	qd := quantizeByClient(x, p, clientRNGs)
+
+	// Meter the release: a single degree-λ monomial with unit
+	// coefficient bounds one quantized record by (γ+1)^λ (Lemma 4 with
+	// d = 1, so Δ₁ = Δ₂).
+	if p.Acct != nil {
+		d2 := math.Pow(p.Gamma+1, float64(lambda))
+		p.Acct.AddSkellam(d2, d2, p.Mu)
+	}
 
 	noiseStart := time.Now()
 	noise := sampleNoiseShares(clientRNGs, 1, p.Mu)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sqm/internal/bgw"
+	"sqm/internal/dp"
 	"sqm/internal/field"
 	"sqm/internal/obs"
 	"sqm/internal/randx"
@@ -113,6 +114,12 @@ type Params struct {
 	// (trace, sender, lclock) in-band so per-party streams merge into
 	// one causal timeline. Nil disables tracing.
 	Trace *obs.TraceContext
+	// Acct, when non-nil, receives the RDP curve of this invocation's
+	// Skellam release at the protocol's generic sensitivity bound
+	// (unit-norm records). Applications with tighter closed-form
+	// sensitivities (PCA, the LR trainers) account at their own layer
+	// and leave this nil to avoid double counting.
+	Acct *dp.Accountant
 }
 
 // FaultConfig bundles the fault-tolerance knobs the CLIs thread down to

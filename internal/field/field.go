@@ -18,11 +18,13 @@ const Modulus uint64 = 1<<61 - 1
 // Elem is a field element in canonical form (0 <= e < Modulus).
 type Elem uint64
 
-// reduce maps any uint64 below 2*Modulus into canonical form.
+// reduce maps any uint64 at most 2*Modulus into canonical form with a
+// branchless conditional subtraction: v − Modulus keeps its top bit
+// clear exactly when v >= Modulus (v < 2^63), so the borrow bit selects
+// the mask. Field elements carry share and noise material, so the
+// reduction must not branch on the value (see the ctbranch lint check).
 func reduce(v uint64) Elem {
-	if v >= Modulus {
-		v -= Modulus
-	}
+	v -= Modulus & (((v - Modulus) >> 63) - 1)
 	return Elem(v)
 }
 
@@ -36,12 +38,11 @@ func Sub(a, b Elem) Elem {
 	return reduce(uint64(a) + Modulus - uint64(b))
 }
 
-// Neg returns −a mod p.
+// Neg returns −a mod p. Modulus − a lands in (0, Modulus] with the
+// off-canonical Modulus only at a = 0, which reduce folds to 0 without
+// a value-dependent branch.
 func Neg(a Elem) Elem {
-	if a == 0 {
-		return 0
-	}
-	return Elem(Modulus - uint64(a))
+	return reduce(Modulus - uint64(a))
 }
 
 // Mul returns a · b mod p using a Mersenne fold of the 128-bit product:
@@ -50,13 +51,12 @@ func Mul(a, b Elem) Elem {
 	hi, lo := bits.Mul64(uint64(a), uint64(b))
 	// product = hi·2^64 + lo ≡ 8·hi + (lo >> 61) + (lo & p).
 	s := hi<<3 | lo>>61 // hi < 2^58 so hi<<3 keeps the top bits free
+	// v <= 2·Modulus needs two of reduce's branchless conditional
+	// subtractions; both operands stay below 2^63, so the borrow-bit
+	// mask is exact.
 	v := (lo & Modulus) + s
-	if v >= Modulus {
-		v -= Modulus
-	}
-	if v >= Modulus {
-		v -= Modulus
-	}
+	v -= Modulus & (((v - Modulus) >> 63) - 1)
+	v -= Modulus & (((v - Modulus) >> 63) - 1)
 	return Elem(v)
 }
 
@@ -101,12 +101,11 @@ func FromInt64(v int64) Elem {
 }
 
 // ToInt64 inverts FromInt64: elements above p/2 decode as negative.
+// Canonical elements sit below 2^61, so bit 60 is set exactly when
+// e > p/2 = 2^60 − 1; subtracting Modulus under that mask yields the
+// negative two's-complement value without branching on the secret.
 func ToInt64(e Elem) int64 {
-	const half = Modulus / 2
-	if uint64(e) <= half {
-		return int64(e)
-	}
-	return -int64(Modulus - uint64(e))
+	return int64(uint64(e) - (Modulus & -(uint64(e) >> 60)))
 }
 
 // Rand returns a uniform field element using rejection sampling on

@@ -138,12 +138,32 @@ func TestFieldOpsFixture(t *testing.T) {
 	fixtureCase(t, "fieldops", "fixture/fieldops", "fieldops", 1)
 }
 
-func TestSecretLeakFixture(t *testing.T) {
-	fixtureCase(t, "secretleak", "fixture/secretleak", "secretleak", 1)
+func TestShareTaintFixture(t *testing.T) {
+	// 1 single-line suppression + 2 diagnostics anchored inside the
+	// multi-line call covered by one directive.
+	fixtureCase(t, "sharetaint", "fixture/sharetaint", "sharetaint", 3)
 }
 
-func TestSecretLeakAttrFixture(t *testing.T) {
-	fixtureCase(t, "secretleakattr", "fixture/secretleakattr", "secretleak", 1)
+func TestShareTaintAttrFixture(t *testing.T) {
+	fixtureCase(t, "sharetaintattr", "fixture/sharetaintattr", "sharetaint", 1)
+}
+
+func TestDPBudgetFixture(t *testing.T) {
+	fixtureCase(t, "dpbudget", "fixture/dpbudget", "dpbudget", 1)
+}
+
+func TestDPBudgetFacadeEgress(t *testing.T) {
+	// Loaded under the sqm facade import path, exported returns are
+	// release boundaries.
+	pkg, res := loadFixture(t, "dpbudgetfacade", "sqm")
+	checkAgainstWants(t, pkg, res)
+	if len(res.Diagnostics) == 0 {
+		t.Error("facade fixture caught no egress violations")
+	}
+}
+
+func TestCTBranchFixture(t *testing.T) {
+	fixtureCase(t, "ctbranch", "fixture/ctbranch", "ctbranch", 1)
 }
 
 func TestFloatEqFixture(t *testing.T) {

@@ -80,7 +80,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Per-package checks set Run; whole-module
+// interprocedural checks set RunModule and are invoked once per load
+// with the module graph. Exactly one of the two must be non-nil.
 type Analyzer struct {
 	// Name identifies the check in diagnostics and //lint:ignore
 	// directives.
@@ -91,6 +93,46 @@ type Analyzer struct {
 	Severity Severity
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects the whole loaded package set at once, with
+	// the interprocedural dataflow graph available.
+	RunModule func(mp *ModulePass)
+	// Explain documents the invariant for sqmlint -explain.
+	Explain *Explanation
+}
+
+// Explanation is the -explain text of one analyzer: the invariant it
+// enforces and, for dataflow checks, its registries and an example
+// witness path.
+type Explanation struct {
+	// Invariant is the prose statement of the rule.
+	Invariant string
+	// Sources, Sinks, Sanitizers list the registries (empty for purely
+	// syntactic checks).
+	Sources    []string
+	Sinks      []string
+	Sanitizers []string
+	// Example is a representative diagnostic, witness path included.
+	Example string
+}
+
+// ModulePass carries the whole-module view through a RunModule
+// analyzer.
+type ModulePass struct {
+	// Module is the interprocedural graph over every loaded package.
+	Module *Module
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos with the analyzer's severity.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:    p.analyzer.Name,
+		Severity: p.analyzer.Severity,
+		Pos:      p.Module.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // All returns the registered analyzer suite, sorted by name. Each
@@ -100,7 +142,9 @@ func All() []*Analyzer {
 		AnalyzerRandDet,
 		AnalyzerBlockingRecv,
 		AnalyzerFieldOps,
-		AnalyzerSecretLeak,
+		AnalyzerShareTaint,
+		AnalyzerDPBudget,
+		AnalyzerCTBranch,
 		AnalyzerFloatEq,
 		AnalyzerPanicPolicy,
 		AnalyzerRoundAccounting,
@@ -119,8 +163,9 @@ func Lookup(name string) *Analyzer {
 	return nil
 }
 
-// sortDiagnostics orders findings by file, line, column, then check
-// name, so output is deterministic across runs.
+// sortDiagnostics orders findings by file, line, column, check name,
+// then message, so output is deterministic across runs regardless of
+// package load order.
 func sortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
@@ -133,6 +178,28 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
+}
+
+// dedupDiagnostics removes identical findings from a sorted slice:
+// overlapping package patterns can analyze one file twice, and each
+// copy would otherwise report the same (file, line, check) diagnostic.
+func dedupDiagnostics(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.Check == d.Check && p.Pos.Filename == d.Pos.Filename &&
+				p.Pos.Line == d.Pos.Line && p.Pos.Column == d.Pos.Column &&
+				p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }

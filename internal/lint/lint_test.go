@@ -12,10 +12,10 @@ func TestRegistryHasTheInvariantSuite(t *testing.T) {
 	if len(as) < 5 {
 		t.Fatalf("registry has %d analyzers, want at least 5", len(as))
 	}
-	want := []string{"fieldops", "floateq", "panicpolicy", "randdet", "secretleak"}
+	want := []string{"fieldops", "floateq", "panicpolicy", "randdet", "sharetaint", "dpbudget", "ctbranch"}
 	seen := make(map[string]bool)
 	for _, a := range as {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunModule == nil) {
 			t.Errorf("analyzer %+v missing name, doc, or run", a)
 		}
 		if seen[a.Name] {
@@ -118,6 +118,50 @@ func TestTextOutput(t *testing.T) {
 	}
 	if len(strings.Split(strings.TrimSpace(out), "\n")) != len(res.Diagnostics) {
 		t.Errorf("text output line count != diagnostic count:\n%s", out)
+	}
+}
+
+func TestSortAndDedupDiagnostics(t *testing.T) {
+	mk := func(file string, line, col int, check, msg string) Diagnostic {
+		d := Diagnostic{Check: check, Message: msg}
+		d.Pos.Filename = file
+		d.Pos.Line = line
+		d.Pos.Column = col
+		return d
+	}
+	ds := []Diagnostic{
+		mk("b.go", 2, 1, "floateq", "x"),
+		mk("a.go", 9, 1, "floateq", "x"),
+		mk("a.go", 3, 7, "sharetaint", "y"),
+		mk("a.go", 3, 7, "dpbudget", "z"),
+		mk("a.go", 3, 7, "sharetaint", "y"), // exact duplicate
+	}
+	sortDiagnostics(ds)
+	ds = dedupDiagnostics(ds)
+	want := []Diagnostic{
+		mk("a.go", 3, 7, "dpbudget", "z"),
+		mk("a.go", 3, 7, "sharetaint", "y"),
+		mk("a.go", 9, 1, "floateq", "x"),
+		mk("b.go", 2, 1, "floateq", "x"),
+	}
+	if len(ds) != len(want) {
+		t.Fatalf("got %d diagnostics after dedup, want %d: %v", len(ds), len(want), ds)
+	}
+	for i := range want {
+		if ds[i].String() != want[i].String() {
+			t.Errorf("position %d: got %s, want %s", i, ds[i], want[i])
+		}
+	}
+}
+
+func TestOverlappingLoadsDedupToOneFinding(t *testing.T) {
+	// The same package analyzed twice (as overlapping ./... patterns
+	// would) must not double-report.
+	pkg, single := loadFixture(t, "floateq", "fixture/floateq-dedup")
+	double := Run([]*Package{pkg, pkg}, All())
+	if len(double.Diagnostics) != len(single.Diagnostics) {
+		t.Errorf("duplicate package load reported %d findings, want %d",
+			len(double.Diagnostics), len(single.Diagnostics))
 	}
 }
 

@@ -1,0 +1,16 @@
+// Package brokenfixture fails to type-check on purpose: the loader
+// must report the failure as an error listing every collected type
+// error, not panic and not stop at the first.
+package brokenfixture
+
+func wrongReturn() int {
+	return "not an int"
+}
+
+func wrongArity() {
+	takesNone(1, 2)
+}
+
+func takesNone() {}
+
+var undeclared = missingIdent

@@ -1,0 +1,9 @@
+// Package buildtagsfixture is split across build-tagged files: the
+// loader must select exactly the files matching the host configuration.
+// Every variant file declares the same `marker` constant, so a
+// filtering failure surfaces immediately as a redeclaration type error
+// instead of passing silently.
+package buildtagsfixture
+
+// Marker reports which file variant the loader selected.
+func Marker() string { return marker }

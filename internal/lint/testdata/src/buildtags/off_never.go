@@ -1,0 +1,5 @@
+//go:build someneverenabledtag
+
+package buildtagsfixture
+
+const marker = "never"

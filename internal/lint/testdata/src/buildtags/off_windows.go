@@ -1,0 +1,3 @@
+package buildtagsfixture
+
+const marker = "windows"

@@ -1,0 +1,5 @@
+//go:build gc
+
+package buildtagsfixture
+
+const marker = "gc"

@@ -1,0 +1,48 @@
+// Package dpbudgetfixture exercises the dpbudget analyzer: a value
+// derived from a DP noise draw may only escape (here: fmt output) if a
+// function on its dataflow path consults the dp.Accountant. The flow
+// below crosses two call boundaries before reaching the sink, so only
+// the interprocedural engine can connect the draw to the release.
+package dpbudgetfixture
+
+import (
+	"fmt"
+
+	"sqm/internal/dp"
+	"sqm/internal/randx"
+)
+
+// draw samples the mechanism's noise: its result is a DP release in
+// the making.
+func draw(g *randx.RNG, mu float64) int64 {
+	return g.Skellam(mu)
+}
+
+// forward is the second hop: the noisy value crosses it untouched.
+func forward(v int64) int64 { return v + 1 }
+
+// Bad releases the noisy aggregate with no accountant on the path.
+func Bad(g *randx.RNG) {
+	v := draw(g, 8)
+	fmt.Println(forward(v)) // want "DP-noisy value escapes via fmt.Println"
+}
+
+// Accounted meters the release before printing: one dp.Accountant
+// call anywhere in the function covers the flows through it.
+func Accounted(g *randx.RNG, acct *dp.Accountant) {
+	v := draw(g, 8)
+	acct.AddSkellam(8, 8, 8)
+	fmt.Println(forward(v))
+}
+
+// Suppressed shows a reviewed escape hatch.
+func Suppressed(g *randx.RNG) {
+	v := draw(g, 8)
+	//lint:ignore dpbudget fixture demonstrating a reviewed suppression
+	fmt.Println(v)
+}
+
+// Good prints only noise-free values.
+func Good(rounds int) {
+	fmt.Printf("finished %d rounds\n", rounds)
+}

@@ -1,0 +1,22 @@
+// Package dpbudgetfacadefixture is loaded under the sqm facade import
+// path: there, every exported return is a release boundary, so a
+// noisy value may only leave through a function with accountant
+// coverage on its path.
+package dpbudgetfacadefixture
+
+import (
+	"sqm/internal/dp"
+	"sqm/internal/randx"
+)
+
+// Estimate returns a noisy aggregate straight off the facade without
+// accounting for it.
+func Estimate(g *randx.RNG) int64 {
+	return g.Skellam(4) // want "DP-noisy value returned from exported"
+}
+
+// EstimateAccounted meters the release before returning it.
+func EstimateAccounted(g *randx.RNG, acct *dp.Accountant) int64 {
+	acct.AddSkellam(4, 4, 4)
+	return g.Skellam(4)
+}

@@ -1,0 +1,36 @@
+// Package genericsfixture exercises the loader on generic functions
+// and their instantiations: the package must type-check cleanly and the
+// analyzer suite must run over type-parameterized code without tripping
+// on instantiation nodes (IndexExpr/IndexListExpr callees).
+package genericsfixture
+
+// Pair is a generic container.
+type Pair[T any] struct{ First, Second T }
+
+// Map applies f to every element of xs.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Sum folds an addable slice.
+func Sum[T int | int64](xs []T) T {
+	var acc T
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+// Use instantiates the generics both implicitly (type inference) and
+// explicitly (full type-argument list).
+func Use() int64 {
+	ps := Map([]int{1, 2, 3}, func(v int) Pair[int64] {
+		return Pair[int64]{First: int64(v), Second: int64(v * v)}
+	})
+	seconds := Map[Pair[int64], int64](ps, func(p Pair[int64]) int64 { return p.Second })
+	return Sum(seconds)
+}

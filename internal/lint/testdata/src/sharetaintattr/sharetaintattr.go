@@ -1,8 +1,8 @@
-// Package secretleakattrfixture exercises the attribute-constructor
-// extension of the secretleak analyzer: any function whose result
+// Package sharetaintattrfixture exercises the attribute-constructor
+// extension of the sharetaint analyzer: any function whose result
 // contains obs.Attr is a telemetry sink, so share-typed arguments must
 // not flow into it even when the helper lives outside the obs package.
-package secretleakattrfixture
+package sharetaintattrfixture
 
 import (
 	"sqm/internal/bgw"
@@ -31,7 +31,7 @@ func Bad(s bgw.Shared, v bgw.SharedVec) {
 
 // Suppressed shows a reviewed escape hatch for the attr-flow rule.
 func Suppressed(s bgw.Shared) {
-	//lint:ignore secretleak fixture demonstrating a reviewed suppression
+	//lint:ignore sharetaint fixture demonstrating a reviewed suppression
 	_ = shareAttr("sh", s)
 }
 

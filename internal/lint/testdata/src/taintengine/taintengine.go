@@ -1,0 +1,50 @@
+// Package taintenginefixture is a minimal, dependency-free package the
+// engine unit tests drive with a custom TaintSpec: NewSecret is the
+// registered function source and Declassify the registered sanitizer,
+// so the tests pin the engine's summaries, field nodes, sanitizer
+// blocking, and witness rendering without involving any real analyzer
+// registry.
+package taintenginefixture
+
+// Secret is the value kind the test spec treats as sensitive.
+type Secret struct{ V int }
+
+// NewSecret is the registered function source.
+func NewSecret() Secret { return Secret{V: 1} }
+
+// Box carries a secret inside a struct field.
+type Box struct {
+	Label string
+	Inner Secret
+}
+
+// Fill stores a fresh secret in the box.
+func Fill(b *Box) { b.Inner = NewSecret() }
+
+// Take reads it back out.
+func Take(b *Box) Secret { return b.Inner }
+
+// Chain routes a secret through two call boundaries and a struct field
+// before returning it.
+func Chain() Secret {
+	var b Box
+	Fill(&b)
+	return Take(&b)
+}
+
+// Declassify is the registered sanitizer.
+func Declassify(s Secret) int { return s.V }
+
+// Published returns a sanitized value; its result must be clean.
+func Published() int {
+	s := NewSecret()
+	return Declassify(s)
+}
+
+// Plain never touches a secret; its result must be clean.
+func Plain() string { return "public" }
+
+// Other reads a different Box instance than Fill ever wrote: field
+// nodes are per-field-object, not per-instance, so the engine smears
+// the taint here too (the documented under-approximation).
+func Other(b Box) Secret { return b.Inner }

@@ -64,6 +64,12 @@ func TrainGLM(link *approx.Poly1, x *linalg.Matrix, y []float64, cfg Config) (*M
 	if err != nil {
 		return nil, err
 	}
+	// Meter the run as one subsampled composition at the probe's
+	// generic coordinate-wise bound; the per-round core calls keep
+	// their own meter disabled (Params.Acct stays nil below).
+	if cfg.Acct != nil {
+		cfg.Acct.AddSubsampledSkellam(delta1, delta2, mu, cfg.SampleRate, cfg.Rounds())
+	}
 
 	// Augment once: variables are (x_1..x_d, y).
 	full := linalg.NewMatrix(x.Rows, d+1)

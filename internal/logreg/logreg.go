@@ -54,6 +54,13 @@ type Config struct {
 	// (trace, party, lclock) stamps and land in per-party flight
 	// recorders (nil disables).
 	Trace *obs.TraceContext
+
+	// Acct, when non-nil, receives the trainer's full subsampled
+	// Skellam composition (Δ from the trainer's own sensitivity
+	// analysis, R rounds at rate q) as one ledger entry. The trainer
+	// accounts here rather than per round, so the core protocol's
+	// generic meter stays disabled underneath it.
+	Acct *dp.Accountant
 }
 
 func (c *Config) normalize() error {
@@ -234,6 +241,12 @@ func TrainSQM(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Meter the full training run as one subsampled composition at
+	// Lemma 7's sensitivities — the same curve CalibrateMu solved for.
+	if cfg.Acct != nil {
+		d2, d1 := Sensitivities(cfg.Gamma, x.Cols)
+		cfg.Acct.AddSubsampledSkellam(d1, d2, mu, cfg.SampleRate, cfg.Rounds())
+	}
 	proto, err := core.NewLRProtocol(x, y, core.Params{
 		Gamma:    cfg.Gamma,
 		Mu:       mu,
@@ -289,6 +302,11 @@ func TrainSQMOrder3(x *linalg.Matrix, y []float64, cfg Config) (*Model, error) {
 	proto.Close()
 	if err != nil {
 		return nil, err
+	}
+	// Meter the run as one subsampled composition at the probe's
+	// conservative order-3 sensitivities.
+	if cfg.Acct != nil {
+		cfg.Acct.AddSubsampledSkellam(d1, d2, mu, cfg.SampleRate, cfg.Rounds())
 	}
 	// Rebuild with the calibrated noise (the protocol state is cheap to
 	// reconstruct and the seeds keep the quantization identical).

@@ -14,7 +14,6 @@ package pca
 
 import (
 	"fmt"
-	"math"
 
 	"sqm/internal/core"
 	"sqm/internal/dp"
@@ -133,12 +132,11 @@ func Exact(x *linalg.Matrix, cfg Config) (*Result, error) {
 }
 
 // Sensitivities returns Lemma 5's L2/L1 sensitivities of the quantized
-// covariance: Δ₂ = γ²c² + n, Δ₁ = min(Δ₂², √d·Δ₂) with d = n².
+// covariance: Δ₂ = γ²c² + n, Δ₁ = min(Δ₂², √d·Δ₂) with d = n². The
+// closed form lives next to the protocol in core so the release can
+// self-account.
 func Sensitivities(gamma, c float64, n int) (delta2, delta1 float64) {
-	delta2 = gamma*gamma*c*c + float64(n)
-	d := float64(n) * float64(n)
-	delta1 = math.Min(delta2*delta2, math.Sqrt(d)*delta2)
-	return delta2, delta1
+	return core.CovarianceSensitivities(gamma, c, n)
 }
 
 // CalibrateMu returns the minimal Skellam parameter for the SQM

@@ -168,6 +168,9 @@ func ByID(id string, o Options) ([]*Table, error) {
 		return []*Table{Profile(o)}, nil
 	case "chaos":
 		return []*Table{Chaos(o)}, nil
+	case "kernels":
+		t, _ := Kernels(o)
+		return []*Table{t}, nil
 	case "all":
 		return All(o), nil
 	default:

@@ -120,6 +120,7 @@ func NewActorEngine(cfg Config, mesh transport.Mesh) (*ActorEngine, error) {
 			weights: weights,
 			conn:    mesh.Conn(i),
 			cmds:    make(chan *actorCmd, 256),
+			workers: cfg.Workers,
 		}
 		e.parties = append(e.parties, pa)
 		e.wg.Add(1)
@@ -159,6 +160,16 @@ func (e *ActorEngine) AdvanceRound() {
 			obs.Int64("frames", frames-e.lastFrames), obs.Int64("messages", msgs-e.lastMsgs))
 		e.lastFrames, e.lastMsgs = frames, msgs
 	}
+}
+
+// SetWorkers implements WorkerTunable: the bound is broadcast to every
+// party actor (applied in command order, like any other op) and governs
+// the pool that parallelizes each party's batched local arithmetic.
+// Party gate computations carry no randomness, so shares — and
+// therefore opened outputs — are identical for every setting.
+func (e *ActorEngine) SetWorkers(n int) int {
+	e.dispatch(&actorCmd{op: opSetWorkers, k: n})
+	return effectiveWorkers(n)
 }
 
 // Err returns the first failure any party actor hit (transport abort,

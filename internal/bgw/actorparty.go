@@ -38,6 +38,7 @@ const (
 	opBarrier
 	opMulBatch
 	opOpenBatch
+	opSetWorkers
 )
 
 // mulDesc is the wire form of one MulBatch item: operand slots resolved
@@ -87,9 +88,11 @@ type actorParty struct {
 	weights  []field.Elem
 	conn     transport.PartyConn
 	cmds     chan *actorCmd
+	workers  int // per-party pool bound for batched local arithmetic
 
 	sc       []field.Elem   // scalar share slots, indexed by facade refs
 	vc       [][]field.Elem // vector share slots
+	dec      []field.Elem   // decode scratch, reused across rounds
 	fieldOps int64
 	err      error
 }
@@ -156,10 +159,7 @@ func (a *actorParty) exec(c *actorCmd) error {
 		a.sc = append(a.sc, out[0])
 	case opDot:
 		va, vb := a.vc[c.a], a.vc[c.b]
-		var acc field.Elem
-		for k := range va {
-			acc = field.Add(acc, field.Mul(va[k], vb[k]))
-		}
+		acc := field.DotAcc(0, va, vb)
 		a.fieldOps += int64(len(va))
 		out, err := a.reshare([]field.Elem{acc})
 		if err != nil {
@@ -169,14 +169,13 @@ func (a *actorParty) exec(c *actorCmd) error {
 	case opDotBatch:
 		accs := make([]field.Elem, len(c.refs))
 		for m := range c.refs {
-			va, vb := a.vc[c.refs[m]], a.vc[c.refs2[m]]
-			var acc field.Elem
-			for k := range va {
-				acc = field.Add(acc, field.Mul(va[k], vb[k]))
-			}
-			accs[m] = acc
-			a.fieldOps += int64(len(va))
+			a.fieldOps += int64(len(a.vc[c.refs[m]]))
 		}
+		parallelChunks(len(c.refs), clampWorkers(a.workers, len(c.refs)), func(_, start, end int) {
+			for m := start; m < end; m++ {
+				accs[m] = field.DotAcc(0, a.vc[c.refs[m]], a.vc[c.refs2[m]])
+			}
+		})
 		out, err := a.reshare(accs)
 		if err != nil {
 			return err
@@ -187,9 +186,7 @@ func (a *actorParty) exec(c *actorCmd) error {
 	case opAddVec:
 		va, vb := a.vc[c.a], a.vc[c.b]
 		out := make([]field.Elem, len(va))
-		for k := range out {
-			out[k] = field.Add(va[k], vb[k])
-		}
+		field.AddVec(out, va, vb)
 		a.vc = append(a.vc, out)
 	case opFromScalars:
 		out := make([]field.Elem, len(c.refs))
@@ -218,31 +215,38 @@ func (a *actorParty) exec(c *actorCmd) error {
 		}
 		c.reply <- r
 	case opMulBatch:
-		highs := make([]field.Elem, len(c.muls))
-		for m, d := range c.muls {
+		// Validation and op metering run serially (shape-only); the
+		// per-gate arithmetic splits across the worker pool. Gates have
+		// no randomness, so every worker count computes identical highs.
+		for _, d := range c.muls {
 			switch d.kind {
 			case MulScalar:
-				highs[m] = field.Mul(a.sc[d.a], a.sc[d.b])
 				a.fieldOps++
 			case MulInner:
-				var acc field.Elem
-				for i := range d.refs {
-					acc = field.Add(acc, field.Mul(a.sc[d.refs[i]], a.sc[d.refs2[i]]))
-				}
 				a.fieldOps += int64(len(d.refs))
-				highs[m] = acc
 			case MulDot:
-				va, vb := a.vc[d.a], a.vc[d.b]
-				var acc field.Elem
-				for k := range va {
-					acc = field.Add(acc, field.Mul(va[k], vb[k]))
-				}
-				a.fieldOps += int64(len(va))
-				highs[m] = acc
+				a.fieldOps += int64(len(a.vc[d.a]))
 			default:
 				return fmt.Errorf("unknown mul kind %d", d.kind)
 			}
 		}
+		highs := make([]field.Elem, len(c.muls))
+		parallelChunks(len(c.muls), clampWorkers(a.workers, len(c.muls)), func(_, start, end int) {
+			for m := start; m < end; m++ {
+				switch d := c.muls[m]; d.kind {
+				case MulScalar:
+					highs[m] = field.Mul(a.sc[d.a], a.sc[d.b])
+				case MulInner:
+					var acc field.Elem
+					for i := range d.refs {
+						acc = field.Add(acc, field.Mul(a.sc[d.refs[i]], a.sc[d.refs2[i]]))
+					}
+					highs[m] = acc
+				case MulDot:
+					highs[m] = field.DotAcc(0, a.vc[d.a], a.vc[d.b])
+				}
+			}
+		})
 		out, err := a.reshare(highs)
 		if err != nil {
 			return err
@@ -270,6 +274,8 @@ func (a *actorParty) exec(c *actorCmd) error {
 		c.reply <- actorReply{party: a.id, elem: field.Mul(c.weights[a.id], a.sc[c.a])}
 	case opBarrier:
 		c.reply <- actorReply{party: a.id, ops: a.fieldOps}
+	case opSetWorkers:
+		a.workers = c.k
 	default:
 		return fmt.Errorf("unknown opcode %d", c.op)
 	}
@@ -286,7 +292,7 @@ func (a *actorParty) input(owner int, v field.Elem) error {
 			if j == a.id {
 				continue
 			}
-			buf := make([]byte, 8)
+			buf := transport.GetPayload(8)
 			putElem(buf, sh[j])
 			if err := a.conn.Send(j, buf); err != nil {
 				return err
@@ -314,7 +320,7 @@ func (a *actorParty) inputVec(owner int, vs []int64) error {
 		bufs := make([][]byte, a.p)
 		for j := range bufs {
 			if j != a.id {
-				bufs[j] = make([]byte, 8*n)
+				bufs[j] = transport.GetPayload(8 * n)
 			}
 		}
 		for k, v := range vs {
@@ -358,7 +364,10 @@ func (a *actorParty) inputVec(owner int, vs []int64) error {
 // values: Shamir-share each local value, send every peer its sub-shares
 // in one message, and combine the received sub-shares with the Lagrange
 // weights. Sends never block (transport guarantee), so the
-// all-send-then-all-receive shape cannot deadlock.
+// all-send-then-all-receive shape cannot deadlock. Send buffers come
+// from the transport frame pool; received payloads are decoded into the
+// party's scratch before the next Recv, per the transport ownership
+// rule.
 func (a *actorParty) reshare(highs []field.Elem) ([]field.Elem, error) {
 	n := len(highs)
 	subs := make([][]field.Elem, n)
@@ -369,7 +378,7 @@ func (a *actorParty) reshare(highs []field.Elem) ([]field.Elem, error) {
 		if j == a.id {
 			continue
 		}
-		buf := make([]byte, 8*n)
+		buf := transport.GetPayload(8 * n)
 		for m := range subs {
 			putElem(buf[8*m:], subs[m][j])
 		}
@@ -382,6 +391,7 @@ func (a *actorParty) reshare(highs []field.Elem) ([]field.Elem, error) {
 	for m := range out {
 		out[m] = field.Mul(wi, subs[m][a.id])
 	}
+	a.dec = growElems(a.dec, n)
 	for j := 0; j < a.p; j++ {
 		if j == a.id {
 			continue
@@ -393,10 +403,10 @@ func (a *actorParty) reshare(highs []field.Elem) ([]field.Elem, error) {
 		if len(buf) != 8*n {
 			return nil, fmt.Errorf("bad reshare payload from party %d: %d bytes for %d values", j, len(buf), n)
 		}
-		wj := a.weights[j]
-		for m := range out {
-			out[m] = field.Add(out[m], field.Mul(wj, getElem(buf[8*m:])))
+		for m := range a.dec {
+			a.dec[m] = getElem(buf[8*m:])
 		}
+		field.MulAddVec(out, a.dec, a.weights[j])
 	}
 	// Per-party slice of the engine-level reshare cost model, so the
 	// sum over parties matches the monolithic engine's accounting.
@@ -417,17 +427,18 @@ func (a *actorParty) openValues(mine []field.Elem) ([]field.Elem, error) {
 		if j == a.id {
 			continue
 		}
-		// Each peer gets its own copy: the transport owns payloads.
-		b := append([]byte(nil), out...)
+		// Each peer gets its own pooled copy: the transport owns
+		// payloads after Send.
+		b := transport.GetPayload(8 * n)
+		copy(b, out)
 		if err := a.conn.SendN(j, b, n); err != nil {
 			return nil, err
 		}
 	}
 	vals := make([]field.Elem, n)
 	wi := a.weights[a.id]
-	for m := range vals {
-		vals[m] = field.Mul(wi, mine[m])
-	}
+	field.MulConstVec(vals, mine, wi)
+	a.dec = growElems(a.dec, n)
 	for j := 0; j < a.p; j++ {
 		if j == a.id {
 			continue
@@ -439,10 +450,10 @@ func (a *actorParty) openValues(mine []field.Elem) ([]field.Elem, error) {
 		if len(buf) != 8*n {
 			return nil, fmt.Errorf("bad opening payload from party %d: %d bytes for %d values", j, len(buf), n)
 		}
-		wj := a.weights[j]
-		for m := range vals {
-			vals[m] = field.Add(vals[m], field.Mul(wj, getElem(buf[8*m:])))
+		for m := range a.dec {
+			a.dec[m] = getElem(buf[8*m:])
 		}
+		field.MulAddVec(vals, a.dec, a.weights[j])
 	}
 	a.fieldOps += int64(n)
 	return vals, nil

@@ -43,6 +43,13 @@ type Config struct {
 	// transport.ErrTimeout party failure instead of a hung protocol.
 	// 0 keeps receives blocking (the trusted-simulation default).
 	RecvTimeout time.Duration
+	// Workers bounds the worker pool that parallelizes the local share
+	// arithmetic of batched rounds (MulBatch, DotBatch, reshare folds).
+	// 0 means runtime.NumCPU(); 1 forces the serial path; explicit
+	// values are honored as given so a pinned pool size chunks — and
+	// draws randomness — identically on every machine. Worker count
+	// never changes opened outputs (see WorkerTunable).
+	Workers int
 }
 
 // Stats meters the protocol execution. Frames and Messages separate
@@ -71,11 +78,14 @@ type Engine struct {
 	rngs    []*randx.RNG // party i's private randomness
 	weights []field.Elem // Lagrange weights at 0 for points 1..P
 	stats   Stats
+	workers int      // configured pool bound; see SetWorkers
+	scratch elemSlab // recycled P-width accumulators for batched rounds
 
-	rec       obs.Recorder // nil when telemetry is disabled
-	roundHist *obs.Histogram
-	opsGauge  *obs.Gauge
-	lastRound time.Time
+	rec          obs.Recorder // nil when telemetry is disabled
+	roundHist    *obs.Histogram
+	opsGauge     *obs.Gauge
+	workersGauge *obs.Gauge
+	lastRound    time.Time
 }
 
 // NewEngine validates the configuration and prepares an engine.
@@ -94,11 +104,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if lat == 0 {
 		lat = DefaultLatency
 	}
-	e := &Engine{p: cfg.Parties, t: t, latency: lat}
+	e := &Engine{p: cfg.Parties, t: t, latency: lat, workers: cfg.Workers,
+		scratch: elemSlab{width: cfg.Parties}}
 	if rec := cfg.Recorder; rec != nil && rec.Metrics() != nil {
 		e.rec = rec
 		e.roundHist = rec.Metrics().Histogram("bgw.round.seconds")
 		e.opsGauge = rec.Metrics().Gauge("bgw.fieldops")
+		e.workersGauge = rec.Metrics().Gauge("bgw.workers")
+		e.workersGauge.Set(float64(effectiveWorkers(e.workers)))
+		e.scratch.counter = rec.Metrics().Counter("bgw.pool.reused")
 		e.lastRound = time.Now()
 	}
 	root := randx.New(cfg.Seed)
@@ -120,6 +134,18 @@ func (e *Engine) Latency() time.Duration { return e.latency }
 
 // Stats returns a snapshot of the execution counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// SetWorkers implements WorkerTunable: it bounds the pool that
+// parallelizes batched share arithmetic and returns the effective
+// bound. Opened outputs are identical for every setting.
+func (e *Engine) SetWorkers(n int) int {
+	e.workers = n
+	eff := effectiveWorkers(n)
+	if e.workersGauge != nil {
+		e.workersGauge.Set(float64(eff))
+	}
+	return eff
+}
 
 // ResetStats zeroes the counters (between experiment phases).
 func (e *Engine) ResetStats() { e.stats = Stats{} }
@@ -203,9 +229,7 @@ func (s *Shared) AdditiveShares(weights []field.Elem) []field.Elem {
 		panic(invariant.Violation("bgw: AdditiveShares weight count mismatch"))
 	}
 	out := make([]field.Elem, len(s.shares))
-	for i, sh := range s.shares {
-		out[i] = field.Mul(weights[i], sh)
-	}
+	field.MulVec(out, weights, s.shares)
 	return out
 }
 
@@ -219,9 +243,7 @@ func (e *Engine) Zero() *Shared {
 func (e *Engine) Add(a, b *Shared) *Shared {
 	e.checkSame(a, b)
 	out := make([]field.Elem, e.p)
-	for i := range out {
-		out[i] = field.Add(a.shares[i], b.shares[i])
-	}
+	field.AddVec(out, a.shares, b.shares)
 	return &Shared{eng: e, shares: out}
 }
 
@@ -229,9 +251,7 @@ func (e *Engine) Add(a, b *Shared) *Shared {
 func (e *Engine) Sub(a, b *Shared) *Shared {
 	e.checkSame(a, b)
 	out := make([]field.Elem, e.p)
-	for i := range out {
-		out[i] = field.Sub(a.shares[i], b.shares[i])
-	}
+	field.SubVec(out, a.shares, b.shares)
 	return &Shared{eng: e, shares: out}
 }
 
@@ -240,9 +260,7 @@ func (e *Engine) Sub(a, b *Shared) *Shared {
 func (e *Engine) AddConst(a *Shared, c int64) *Shared {
 	ce := field.FromInt64(c)
 	out := make([]field.Elem, e.p)
-	for i := range out {
-		out[i] = field.Add(a.shares[i], ce)
-	}
+	field.AddConstVec(out, a.shares, ce)
 	return &Shared{eng: e, shares: out}
 }
 
@@ -250,9 +268,7 @@ func (e *Engine) AddConst(a *Shared, c int64) *Shared {
 func (e *Engine) MulConst(a *Shared, c int64) *Shared {
 	ce := field.FromInt64(c)
 	out := make([]field.Elem, e.p)
-	for i := range out {
-		out[i] = field.Mul(a.shares[i], ce)
-	}
+	field.MulConstVec(out, a.shares, ce)
 	e.stats.FieldOps += int64(e.p)
 	return &Shared{eng: e, shares: out}
 }
@@ -263,9 +279,7 @@ func (e *Engine) MulConst(a *Shared, c int64) *Shared {
 func (e *Engine) Mul(a, b *Shared) *Shared {
 	e.checkSame(a, b)
 	prods := make([]field.Elem, e.p)
-	for i := range prods {
-		prods[i] = field.Mul(a.shares[i], b.shares[i])
-	}
+	field.MulVec(prods, a.shares, b.shares)
 	e.stats.FieldOps += int64(e.p)
 	return e.reshare(prods)
 }
@@ -283,22 +297,48 @@ func (e *Engine) reshare(high []field.Elem) *Shared {
 // re-shares all of its values and sends each peer a single frame
 // carrying all sub-shares, so a level of independent multiplications
 // costs one frame per ordered party pair regardless of batch size.
-// Each party consumes its private stream value-major (item 0, 1, …),
-// matching both the eager per-gate order and the actor parties.
+//
+// With one worker, each party consumes its private stream value-major
+// (item 0, 1, …), matching both the eager per-gate order and the actor
+// parties. With more, the batch splits into contiguous item chunks and
+// each chunk reshares with per-chunk forks of the party streams, taken
+// serially in chunk order so the randomness is deterministic for a
+// fixed worker count. The two disciplines draw different sub-share
+// polynomials, but BGW computes exactly — the reconstructed secrets
+// cancel the resharing randomness — so opened outputs are bit-identical
+// either way.
 func (e *Engine) reshareBatch(highs [][]field.Elem) []*Shared {
 	n := len(highs)
 	outs := make([]*Shared, n)
 	for m := range outs {
 		outs[m] = &Shared{eng: e, shares: make([]field.Elem, e.p)}
 	}
-	for i := 0; i < e.p; i++ {
-		wi := e.weights[i]
-		for m := range highs {
-			sub := shamir.Share(highs[m][i], e.t, e.p, e.rngs[i])
-			for j := 0; j < e.p; j++ {
-				outs[m].shares[j] = field.Add(outs[m].shares[j], field.Mul(wi, sub[j]))
+	if w := clampWorkers(e.workers, n); w <= 1 {
+		for i := 0; i < e.p; i++ {
+			wi := e.weights[i]
+			for m := range highs {
+				sub := shamir.Share(highs[m][i], e.t, e.p, e.rngs[i])
+				field.MulAddVec(outs[m].shares, sub, wi)
 			}
 		}
+	} else {
+		chunkRngs := make([][]*randx.RNG, w)
+		for c := 0; c < w; c++ {
+			chunkRngs[c] = make([]*randx.RNG, e.p)
+			for i := 0; i < e.p; i++ {
+				chunkRngs[c][i] = e.rngs[i].Fork()
+			}
+		}
+		parallelChunks(n, w, func(chunk, start, end int) {
+			rngs := chunkRngs[chunk]
+			for i := 0; i < e.p; i++ {
+				wi := e.weights[i]
+				for m := start; m < end; m++ {
+					sub := shamir.Share(highs[m][i], e.t, e.p, rngs[i])
+					field.MulAddVec(outs[m].shares, sub, wi)
+				}
+			}
+		})
 	}
 	e.stats.Frames += int64(e.p * (e.p - 1))
 	e.stats.Messages += int64(n * e.p * (e.p - 1))
@@ -319,9 +359,7 @@ func (e *Engine) InnerProduct(as, bs []*Shared) *Shared {
 	acc := make([]field.Elem, e.p)
 	for k := range as {
 		e.checkSame(as[k], bs[k])
-		for i := 0; i < e.p; i++ {
-			acc[i] = field.Add(acc[i], field.Mul(as[k].shares[i], bs[k].shares[i]))
-		}
+		field.MulAccVec(acc, as[k].shares, bs[k].shares)
 	}
 	e.stats.FieldOps += int64(e.p * len(as))
 	return e.reshare(acc)

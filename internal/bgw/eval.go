@@ -194,51 +194,61 @@ func (m monoEval) DotBatch(pairs []VecPair, workers int) []Val {
 }
 
 // MulBatch computes every item's local degree-2t value and restores
-// degree t with a single batched resharing round.
+// degree t with a single batched resharing round. Validation and stats
+// run serially up front (the counts depend only on batch shape); the
+// share arithmetic then splits across the worker pool with slab-pooled
+// accumulators, each item writing its own slot so the merge order is
+// the item order regardless of scheduling.
 func (m monoEval) MulBatch(items []MulItem) []Val {
 	e := m.e
 	out := make([]Val, len(items))
 	if len(items) == 0 {
 		return out
 	}
-	highs := make([][]field.Elem, len(items))
-	for idx, it := range items {
-		acc := make([]field.Elem, e.p)
+	for _, it := range items {
 		switch it.Kind {
 		case MulScalar:
-			a, b := it.A.(*Shared), it.B.(*Shared)
-			e.checkSame(a, b)
-			for i := 0; i < e.p; i++ {
-				acc[i] = field.Mul(a.shares[i], b.shares[i])
-			}
+			e.checkSame(it.A.(*Shared), it.B.(*Shared))
 			e.stats.FieldOps += int64(e.p)
 		case MulInner:
 			for k := range it.As {
-				a, b := it.As[k].(*Shared), it.Bs[k].(*Shared)
-				e.checkSame(a, b)
-				for i := 0; i < e.p; i++ {
-					acc[i] = field.Add(acc[i], field.Mul(a.shares[i], b.shares[i]))
-				}
+				e.checkSame(it.As[k].(*Shared), it.Bs[k].(*Shared))
 			}
 			e.stats.FieldOps += int64(e.p * len(it.As))
 		case MulDot:
 			a, b := it.VA.(*SharedVec), it.VB.(*SharedVec)
 			e.checkSameVec(a, b)
-			n := a.Len()
-			for i := 0; i < e.p; i++ {
-				ai, bi := a.shares[i], b.shares[i]
-				var s field.Elem
-				for k := 0; k < n; k++ {
-					s = field.Add(s, field.Mul(ai[k], bi[k]))
-				}
-				acc[i] = s
-			}
-			e.stats.FieldOps += int64(e.p * n)
+			e.stats.FieldOps += int64(e.p * a.Len())
 		}
-		highs[idx] = acc
 	}
+	highs := make([][]field.Elem, len(items))
+	for idx := range highs {
+		highs[idx] = e.scratch.get()
+	}
+	parallelChunks(len(items), clampWorkers(e.workers, len(items)), func(_, start, end int) {
+		for idx := start; idx < end; idx++ {
+			it := items[idx]
+			acc := highs[idx] // zeroed by the slab
+			switch it.Kind {
+			case MulScalar:
+				field.MulVec(acc, it.A.(*Shared).shares, it.B.(*Shared).shares)
+			case MulInner:
+				for k := range it.As {
+					field.MulAccVec(acc, it.As[k].(*Shared).shares, it.Bs[k].(*Shared).shares)
+				}
+			case MulDot:
+				a, b := it.VA.(*SharedVec), it.VB.(*SharedVec)
+				for i := 0; i < e.p; i++ {
+					acc[i] = field.DotAcc(0, a.shares[i], b.shares[i])
+				}
+			}
+		}
+	})
 	for i, s := range e.reshareBatch(highs) {
 		out[i] = s
+	}
+	for _, h := range highs {
+		e.scratch.put(h)
 	}
 	return out
 }

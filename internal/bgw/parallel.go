@@ -1,10 +1,6 @@
 package bgw
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"sqm/internal/field"
 	"sqm/internal/randx"
 	"sqm/internal/shamir"
@@ -14,78 +10,60 @@ import (
 type DotPair struct{ A, B *SharedVec }
 
 // DotBatch evaluates many fused inner products concurrently across
-// workers (0 means GOMAXPROCS). All pairs belong to the same
+// workers (0 defers to the engine's configured bound, which itself
+// defaults to runtime.NumCPU()). All pairs belong to the same
 // communication round, exactly as in the sequential path; the opened
 // values are identical to calling Dot in a loop because the resharing
 // randomness never influences reconstructed secrets — only the shares.
-// Statistics are metered atomically.
+// Pairs split into contiguous chunks with per-chunk forks of the party
+// streams taken serially in chunk order, so shares are deterministic
+// for a fixed worker count and results merge in pair order.
 func (e *Engine) DotBatch(pairs []DotPair, workers int) []*Shared {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
 	out := make([]*Shared, len(pairs))
 	if len(pairs) == 0 {
 		return out
 	}
-	if workers <= 1 {
+	if workers <= 0 {
+		workers = e.workers
+	}
+	w := clampWorkers(workers, len(pairs))
+	if w <= 1 {
 		for i, p := range pairs {
 			out[i] = e.DotSubset(p.A, p.B, nil)
 		}
 		return out
 	}
-	var msgs, bytes, ops atomic.Int64
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Each worker owns private resharing randomness per party,
-		// seeded from the engine's party streams; outputs do not
-		// depend on which worker handles which pair.
-		rngs := make([]*randx.RNG, e.p)
-		for i := range rngs {
-			rngs[i] = e.rngs[i].Fork()
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
-					return
-				}
-				p := pairs[i]
-				e.checkSameVec(p.A, p.B)
-				n := p.A.Len()
-				acc := make([]field.Elem, e.p)
-				for pi := 0; pi < e.p; pi++ {
-					ai, bi := p.A.shares[pi], p.B.shares[pi]
-					var s field.Elem
-					for k := 0; k < n; k++ {
-						s = field.Add(s, field.Mul(ai[k], bi[k]))
-					}
-					acc[pi] = s
-				}
-				// Degree reduction with worker-local randomness.
-				shares := make([]field.Elem, e.p)
-				for pi := 0; pi < e.p; pi++ {
-					sub := shamir.Share(acc[pi], e.t, e.p, rngs[pi])
-					wi := e.weights[pi]
-					for j := 0; j < e.p; j++ {
-						shares[j] = field.Add(shares[j], field.Mul(wi, sub[j]))
-					}
-				}
-				out[i] = &Shared{eng: e, shares: shares}
-				msgs.Add(int64(e.p * (e.p - 1)))
-				bytes.Add(8 * int64(e.p*(e.p-1)))
-				ops.Add(int64(e.p*n + e.p*(e.p+e.t+1)))
-			}
-		}()
+	// Validation and metering run serially up front: the counts depend
+	// only on the batch shape, never on share values.
+	for _, p := range pairs {
+		e.checkSameVec(p.A, p.B)
+		e.stats.Messages += int64(e.p * (e.p - 1))
+		e.stats.Bytes += 8 * int64(e.p*(e.p-1))
+		e.stats.FieldOps += int64(e.p*p.A.Len() + e.p*(e.p+e.t+1))
 	}
-	wg.Wait()
-	e.stats.Messages += msgs.Load()
-	e.stats.Bytes += bytes.Load()
-	e.stats.FieldOps += ops.Load()
+	chunkRngs := make([][]*randx.RNG, w)
+	for c := 0; c < w; c++ {
+		chunkRngs[c] = make([]*randx.RNG, e.p)
+		for i := 0; i < e.p; i++ {
+			chunkRngs[c][i] = e.rngs[i].Fork()
+		}
+	}
+	parallelChunks(len(pairs), w, func(chunk, start, end int) {
+		rngs := chunkRngs[chunk]
+		acc := make([]field.Elem, e.p)
+		for i := start; i < end; i++ {
+			p := pairs[i]
+			for pi := 0; pi < e.p; pi++ {
+				acc[pi] = field.DotAcc(0, p.A.shares[pi], p.B.shares[pi])
+			}
+			// Degree reduction with chunk-local randomness.
+			shares := make([]field.Elem, e.p)
+			for pi := 0; pi < e.p; pi++ {
+				sub := shamir.Share(acc[pi], e.t, e.p, rngs[pi])
+				field.MulAddVec(shares, sub, e.weights[pi])
+			}
+			out[i] = &Shared{eng: e, shares: shares}
+		}
+	})
 	return out
 }

@@ -54,9 +54,7 @@ func (e *Engine) AddVec(a, b *SharedVec) *SharedVec {
 	e.checkSameVec(a, b)
 	out := e.zeroVec(a.Len())
 	for i := 0; i < e.p; i++ {
-		for k := range out.shares[i] {
-			out.shares[i][k] = field.Add(a.shares[i][k], b.shares[i][k])
-		}
+		field.AddVec(out.shares[i], a.shares[i], b.shares[i])
 	}
 	return out
 }
@@ -66,9 +64,7 @@ func (e *Engine) SubVec(a, b *SharedVec) *SharedVec {
 	e.checkSameVec(a, b)
 	out := e.zeroVec(a.Len())
 	for i := 0; i < e.p; i++ {
-		for k := range out.shares[i] {
-			out.shares[i][k] = field.Sub(a.shares[i][k], b.shares[i][k])
-		}
+		field.SubVec(out.shares[i], a.shares[i], b.shares[i])
 	}
 	return out
 }
@@ -78,9 +74,7 @@ func (e *Engine) MulConstVec(a *SharedVec, c int64) *SharedVec {
 	ce := field.FromInt64(c)
 	out := e.zeroVec(a.Len())
 	for i := 0; i < e.p; i++ {
-		for k := range out.shares[i] {
-			out.shares[i][k] = field.Mul(a.shares[i][k], ce)
-		}
+		field.MulConstVec(out.shares[i], a.shares[i], ce)
 	}
 	e.stats.FieldOps += int64(e.p * a.Len())
 	return out
@@ -92,9 +86,7 @@ func (e *Engine) AddConstVec(a *SharedVec, c int64) *SharedVec {
 	ce := field.FromInt64(c)
 	out := e.zeroVec(a.Len())
 	for i := 0; i < e.p; i++ {
-		for k := range out.shares[i] {
-			out.shares[i][k] = field.Add(a.shares[i][k], ce)
-		}
+		field.AddConstVec(out.shares[i], a.shares[i], ce)
 	}
 	return out
 }
@@ -118,11 +110,7 @@ func (e *Engine) LinComb(vecs []*SharedVec, coefs []int64) *SharedVec {
 			continue
 		}
 		for i := 0; i < e.p; i++ {
-			vi := v.shares[i]
-			oi := out.shares[i]
-			for k := range oi {
-				oi[k] = field.Add(oi[k], field.Mul(c, vi[k]))
-			}
+			field.MulAddVec(out.shares[i], v.shares[i], c)
 		}
 		e.stats.FieldOps += int64(e.p * n)
 	}
@@ -138,12 +126,7 @@ func (e *Engine) DotSubset(a, b *SharedVec, idx []int) *Shared {
 	if idx == nil {
 		n := a.Len()
 		for i := 0; i < e.p; i++ {
-			ai, bi := a.shares[i], b.shares[i]
-			var s field.Elem
-			for k := 0; k < n; k++ {
-				s = field.Add(s, field.Mul(ai[k], bi[k]))
-			}
-			acc[i] = s
+			acc[i] = field.DotAcc(0, a.shares[i], b.shares[i])
 		}
 		e.stats.FieldOps += int64(e.p * n)
 	} else {

@@ -1,0 +1,123 @@
+package bgw
+
+import (
+	"runtime"
+	"sync"
+
+	"sqm/internal/field"
+	"sqm/internal/obs"
+)
+
+// WorkerTunable is the optional engine surface for tuning the bounded
+// worker pool that parallelizes the local share arithmetic of batched
+// rounds (MulBatch, DotBatch, reshare folds). Both BGW engines
+// implement it; the circuit executor uses it to apply
+// ExecOptions.Workers. Worker count only affects wall-clock and —
+// through per-chunk resharing randomness — the private share values;
+// opened outputs are bit-identical for every setting because BGW
+// computes exactly and reconstructed secrets never depend on the
+// resharing randomness.
+type WorkerTunable interface {
+	// SetWorkers bounds the per-level worker pool: n <= 0 restores the
+	// default (runtime.NumCPU()); explicit positive values are honored
+	// as given, so tests can pin the chunked work discipline on any
+	// machine. Returns the effective bound.
+	SetWorkers(n int) int
+}
+
+// effectiveWorkers resolves a configured pool bound: n <= 0 means
+// runtime.NumCPU() (the NumCPU-capped default); explicit positive
+// values pass through so a pinned pool size means the same chunking —
+// and the same per-chunk randomness — on every machine.
+func effectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// clampWorkers additionally caps the bound at the job count (each
+// worker must own at least one job for the chunk split to be
+// meaningful).
+func clampWorkers(n, jobs int) int {
+	n = effectiveWorkers(n)
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelChunks splits [0, n) into workers contiguous chunks and runs
+// fn(chunk, start, end) for each, concurrently when workers > 1. Chunk
+// boundaries depend only on (n, workers), so the work assignment — and
+// therefore any per-chunk randomness — is deterministic for a fixed
+// pool size. Writers must target disjoint index ranges; the merge order
+// is the slot order, not the completion order.
+func parallelChunks(n, workers int, fn func(chunk, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		start, end := c*n/workers, (c+1)*n/workers
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(c, s, e int) {
+			defer wg.Done()
+			fn(c, s, e)
+		}(c, start, end)
+	}
+	wg.Wait()
+}
+
+// elemSlab recycles fixed-width []field.Elem scratch slices within one
+// engine session — the share-slab pool that keeps batched rounds from
+// allocating a fresh accumulator per gate. It is intentionally not
+// synchronized: each engine (and each actor party) owns its own slab
+// and touches it only from its driving goroutine. Slices handed out by
+// get are zeroed; put recycles a slice whose contents are dead.
+type elemSlab struct {
+	width   int
+	free    [][]field.Elem
+	reused  int64        // pooled allocations avoided
+	counter *obs.Counter // pooled-alloc telemetry; nil disables
+}
+
+func (s *elemSlab) get() []field.Elem {
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.reused++
+		if s.counter != nil {
+			s.counter.Add(1)
+		}
+		clear(b)
+		return b
+	}
+	return make([]field.Elem, s.width)
+}
+
+func (s *elemSlab) put(b []field.Elem) {
+	if len(b) == s.width {
+		s.free = append(s.free, b)
+	}
+}
+
+// grow returns scratch resized to at least n elements, reusing the
+// backing array when it already fits — the single-buffer variant of the
+// slab for per-call scratch whose size tracks the batch shape.
+func growElems(scratch []field.Elem, n int) []field.Elem {
+	if cap(scratch) >= n {
+		return scratch[:n]
+	}
+	return make([]field.Elem, n)
+}

@@ -1,0 +1,147 @@
+package field
+
+import (
+	"math/bits"
+
+	"sqm/internal/invariant"
+)
+
+// Batch kernels. The per-level share arithmetic of the BGW engines —
+// pointwise share products, Lagrange folds, fused inner products —
+// spends nearly all protocol wall-clock in tight loops over []Elem.
+// These kernels are the one sanctioned way to run those loops: the
+// Mersenne fold is inlined so the reduction pipelines across iterations
+// instead of paying a call per element, and every kernel is branchless
+// in the element values (the ctbranch requirement: field elements carry
+// share and noise material, so control flow must not depend on them —
+// only on public lengths and indices).
+//
+// Conventions shared by all kernels:
+//   - dst may alias a or b (in-place updates are the common case).
+//   - Length mismatches are programming errors and panic via
+//     invariant.Violation; zero-length inputs are no-ops.
+//   - Inputs must be canonical (0 <= e < Modulus), as produced by every
+//     constructor in this package; outputs are canonical.
+
+// checkLen2 panics unless a batch kernel's operands agree in length.
+func checkLen2(op string, dst, a, b int) {
+	if dst != a || dst != b {
+		panic(invariant.Violation("field: %s length mismatch (dst %d, a %d, b %d)", op, dst, a, b))
+	}
+}
+
+// AddVec sets dst[i] = a[i] + b[i] mod p for every element.
+func AddVec(dst, a, b []Elem) {
+	checkLen2("AddVec", len(dst), len(a), len(b))
+	for i := range dst {
+		v := uint64(a[i]) + uint64(b[i])
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		dst[i] = Elem(v)
+	}
+}
+
+// SubVec sets dst[i] = a[i] − b[i] mod p for every element.
+func SubVec(dst, a, b []Elem) {
+	checkLen2("SubVec", len(dst), len(a), len(b))
+	for i := range dst {
+		v := uint64(a[i]) + Modulus - uint64(b[i])
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		dst[i] = Elem(v)
+	}
+}
+
+// MulVec sets dst[i] = a[i] · b[i] mod p for every element — the
+// pointwise share product that opens every multiplicative BGW gate.
+func MulVec(dst, a, b []Elem) {
+	checkLen2("MulVec", len(dst), len(a), len(b))
+	for i := range dst {
+		hi, lo := bits.Mul64(uint64(a[i]), uint64(b[i]))
+		v := (lo & Modulus) + (hi<<3 | lo>>61)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		dst[i] = Elem(v)
+	}
+}
+
+// MulConstVec sets dst[i] = c · a[i] mod p for every element.
+func MulConstVec(dst, a []Elem, c Elem) {
+	if len(dst) != len(a) {
+		panic(invariant.Violation("field: MulConstVec length mismatch (dst %d, a %d)", len(dst), len(a)))
+	}
+	cu := uint64(c)
+	for i := range dst {
+		hi, lo := bits.Mul64(uint64(a[i]), cu)
+		v := (lo & Modulus) + (hi<<3 | lo>>61)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		dst[i] = Elem(v)
+	}
+}
+
+// AddConstVec sets dst[i] = a[i] + c mod p for every element.
+func AddConstVec(dst, a []Elem, c Elem) {
+	if len(dst) != len(a) {
+		panic(invariant.Violation("field: AddConstVec length mismatch (dst %d, a %d)", len(dst), len(a)))
+	}
+	cu := uint64(c)
+	for i := range dst {
+		v := uint64(a[i]) + cu
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		dst[i] = Elem(v)
+	}
+}
+
+// MulAddVec sets dst[i] += c · a[i] mod p for every element — the axpy
+// kernel of the Lagrange fold: resharing and opening both accumulate
+// weight-scaled sub-shares into a running vector.
+func MulAddVec(dst, a []Elem, c Elem) {
+	if len(dst) != len(a) {
+		panic(invariant.Violation("field: MulAddVec length mismatch (dst %d, a %d)", len(dst), len(a)))
+	}
+	cu := uint64(c)
+	for i := range dst {
+		hi, lo := bits.Mul64(uint64(a[i]), cu)
+		v := (lo & Modulus) + (hi<<3 | lo>>61)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		v += uint64(dst[i])
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		dst[i] = Elem(v)
+	}
+}
+
+// MulAccVec sets dst[i] += a[i] · b[i] mod p for every element — the
+// pointwise multiply-accumulate that folds one operand pair of a fused
+// inner-product gate into the per-party accumulator.
+func MulAccVec(dst, a, b []Elem) {
+	checkLen2("MulAccVec", len(dst), len(a), len(b))
+	for i := range dst {
+		hi, lo := bits.Mul64(uint64(a[i]), uint64(b[i]))
+		v := (lo & Modulus) + (hi<<3 | lo>>61)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		v += uint64(dst[i])
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		dst[i] = Elem(v)
+	}
+}
+
+// DotAcc returns acc + Σ_i a[i]·b[i] mod p — the fused inner-product
+// kernel. Each product is reduced before it joins the running sum, so
+// the accumulator stays canonical at every step and the result is
+// bit-identical to folding Add(acc, Mul(a[i], b[i])) left to right.
+func DotAcc(acc Elem, a, b []Elem) Elem {
+	if len(a) != len(b) {
+		panic(invariant.Violation("field: DotAcc length mismatch (a %d, b %d)", len(a), len(b)))
+	}
+	s := uint64(acc)
+	for i := range a {
+		hi, lo := bits.Mul64(uint64(a[i]), uint64(b[i]))
+		v := (lo & Modulus) + (hi<<3 | lo>>61)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		v -= Modulus & (((v - Modulus) >> 63) - 1)
+		s += v
+		s -= Modulus & (((s - Modulus) >> 63) - 1)
+	}
+	return Elem(s)
+}

@@ -114,14 +114,28 @@ func WriteMessage(w io.Writer, m Message) error {
 	return nil
 }
 
-// ReadMessage reads and validates one frame.
+// ReadMessage reads and validates one frame. The payload is freshly
+// allocated; use ReadMessageInto to reuse a receive buffer across
+// frames on a long-lived link.
 func ReadMessage(r io.Reader) (Message, error) {
-	hdr := make([]byte, headerLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return Message{}, err
+	m, _, err := ReadMessageInto(r, nil)
+	return m, err
+}
+
+// ReadMessageInto reads and validates one frame, decoding the payload
+// into buf when it fits (avoiding the per-frame allocation of a
+// long-lived link's receive path) and allocating a larger buffer
+// otherwise. It returns the message and the buffer to pass to the next
+// call; m.Payload aliases that buffer, so the message is only valid
+// until the buffer's next reuse — callers owning the link's read side
+// must copy or fully consume the payload before reading the next frame.
+func ReadMessageInto(r io.Reader, buf []byte) (Message, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, buf, err
 	}
 	if v := binary.BigEndian.Uint16(hdr[0:2]); v != Version {
-		return Message{}, fmt.Errorf("%w: got %d, want %d", ErrVersionMismatch, v, Version)
+		return Message{}, buf, fmt.Errorf("%w: got %d, want %d", ErrVersionMismatch, v, Version)
 	}
 	m := Message{
 		Type:    MsgType(hdr[2]),
@@ -129,15 +143,20 @@ func ReadMessage(r io.Reader) (Message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[7:11])
 	if n > MaxPayload {
-		return Message{}, ErrFrameTooLarge
+		return Message{}, buf, ErrFrameTooLarge
 	}
 	if n > 0 {
-		m.Payload = make([]byte, n)
+		if uint32(cap(buf)) >= n {
+			buf = buf[:n]
+		} else {
+			buf = make([]byte, n)
+		}
+		m.Payload = buf
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
-			return Message{}, err
+			return Message{}, buf, err
 		}
 	}
-	return m, nil
+	return m, buf, nil
 }
 
 // Params is the negotiated mechanism configuration (MsgParams payload).

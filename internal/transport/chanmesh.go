@@ -114,7 +114,7 @@ func NewChanMesh(p int, opts ...Option) *ChanMesh {
 		}
 	}
 	for i := 0; i < p; i++ {
-		m.conns[i] = &chanConn{mesh: m, id: i, tr: newConnTrace(o.trace, i)}
+		m.conns[i] = &chanConn{mesh: m, id: i, tr: newConnTrace(o.trace, i), prev: make([][]byte, p)}
 	}
 	return m
 }
@@ -154,9 +154,14 @@ func (m *ChanMesh) Close() error {
 
 // chanConn is one party's endpoint of a ChanMesh.
 type chanConn struct {
-	mesh    *ChanMesh
-	id      int
-	tr      *connTrace   // nil when tracing is disabled
+	mesh *ChanMesh
+	id   int
+	tr   *connTrace // nil when tracing is disabled
+	// prev[from] is the wire buffer of the last frame received from
+	// that peer. The Recv contract makes it dead once the next Recv
+	// from the same peer is issued, so that call recycles it. Only the
+	// owning party goroutine touches it.
+	prev    [][]byte
 	timeout atomic.Int64 // receive deadline in nanoseconds; 0 blocks forever
 }
 
@@ -185,6 +190,11 @@ func (c *chanConn) SendN(to int, payload []byte, msgs int) error {
 	if err := c.mesh.queues[c.id][to].push(wire); err != nil {
 		return err
 	}
+	if c.tr != nil {
+		// Stamping copied the payload into the wire buffer; the
+		// original — transport-owned since the call — is already dead.
+		recycle(payload)
+	}
 	c.mesh.frames.Add(1)
 	c.mesh.messages.Add(int64(msgs))
 	c.mesh.bytes.Add(int64(len(payload)))
@@ -201,6 +211,11 @@ func (c *chanConn) Recv(from int) ([]byte, error) {
 	switch {
 	case err == nil:
 		c.mesh.obs.onRecv(from, c.id)
+		// The previous frame from this peer is dead by the Recv
+		// contract; recycle its wire buffer before stashing the new one
+		// (stashed whole, before the trace header is stripped).
+		recycle(c.prev[from])
+		c.prev[from] = b
 		b = c.tr.received(from, b)
 	case errors.Is(err, ErrTimeout):
 		c.mesh.obs.onTimeout(from, c.id)

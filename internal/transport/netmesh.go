@@ -49,6 +49,11 @@ type netConn struct {
 type link struct {
 	conn net.Conn
 	out  *queue
+	// rbuf is the link's receive buffer, reused across frames whenever
+	// the payload fits (the TCP-mesh half of the frame pool). Only the
+	// owning party goroutine reads this link, so no lock is needed; the
+	// Recv contract makes the previous frame dead before the next read.
+	rbuf []byte
 	wg   sync.WaitGroup
 	werr atomic.Value // error from the writer pump, if any
 }
@@ -63,8 +68,12 @@ func newLink(conn net.Conn) *link {
 			if err != nil {
 				return
 			}
-			if _, err := l.conn.Write(b); err != nil {
-				l.werr.Store(err)
+			_, werr := l.conn.Write(b)
+			// The frame buffer (pool-backed, built by encodeShareFrame)
+			// is dead once written.
+			recycle(b)
+			if werr != nil {
+				l.werr.Store(werr)
 				l.out.close()
 				return
 			}
@@ -260,6 +269,14 @@ func (c *netConn) SendN(to int, payload []byte, msgs int) error {
 	}
 	wire, lc := c.tr.stampSend(payload)
 	frame := encodeShareFrame(uint32(c.id), wire)
+	// Framing copied the wire bytes, so the wire buffer is dead — and
+	// when tracing stamped a copy, so is the original payload
+	// (transport-owned since the call). Untraced sends have wire ==
+	// payload, recycled once.
+	recycle(wire)
+	if c.tr != nil {
+		recycle(payload)
+	}
 	if err := l.out.push(frame); err != nil {
 		return err
 	}
@@ -282,13 +299,15 @@ func (c *netConn) Recv(from int) ([]byte, error) {
 	if from == c.id || from < 0 || from >= c.mesh.p {
 		return nil, fmt.Errorf("transport: party %d cannot receive from %d", c.id, from)
 	}
-	conn := c.links[from].conn
+	l := c.links[from]
+	conn := l.conn
 	if d := time.Duration(c.timeout.Load()); d > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(d))
 	} else {
 		_ = conn.SetReadDeadline(time.Time{})
 	}
-	m, err := protocol.ReadMessage(conn)
+	m, rbuf, err := protocol.ReadMessageInto(conn, l.rbuf)
+	l.rbuf = rbuf
 	if err != nil {
 		err = wrapFailure(err)
 		if isTimeoutErr(err) {
@@ -316,10 +335,11 @@ func (c *netConn) Close() error {
 	return nil
 }
 
-// encodeShareFrame builds one framed share message in a single buffer
-// so the writer pump issues one Write per frame.
+// encodeShareFrame builds one framed share message in a single
+// pool-backed buffer so the writer pump issues one Write per frame and
+// recycles the buffer afterwards.
 func encodeShareFrame(sender uint32, payload []byte) []byte {
-	var buf writerBuf
+	buf := writerBuf(GetPayload(16 + len(payload))[:0])
 	if err := protocol.WriteMessage(&buf, protocol.Message{Type: protocol.MsgShare, Session: sender, Payload: payload}); err != nil {
 		panic(invariant.Violation("transport: framing failed: %v", err))
 	}

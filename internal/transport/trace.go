@@ -29,10 +29,12 @@ const (
 )
 
 // wrapTraceFrame prefixes payload with a trace header. The payload is
-// copied — stamping happens before the frame is handed to a queue that
-// outlives the caller's buffer anyway.
+// copied into a pool-backed wire buffer — stamping happens before the
+// frame is handed to a queue that outlives the caller's buffer anyway,
+// and the copy is what lets the sender's payload be recycled as soon as
+// the frame is built.
 func wrapTraceFrame(id obs.TraceID, from int, lclock uint64, payload []byte) []byte {
-	out := make([]byte, TraceHeaderLen+len(payload))
+	out := GetPayload(TraceHeaderLen + len(payload))
 	binary.BigEndian.PutUint16(out[0:2], traceMagic)
 	out[2] = traceVersion
 	out[3] = byte(from)

@@ -64,6 +64,11 @@ type PartyConn interface {
 	// FIFO); ordering across senders is unspecified. When a receive
 	// deadline is set and expires first, Recv fails with an error
 	// satisfying errors.Is(err, ErrTimeout).
+	//
+	// Ownership: the returned slice is only valid until the next Recv
+	// from the same peer — implementations recycle or overwrite the
+	// backing buffer on that call (frame pooling). Callers must decode
+	// or copy the payload before receiving from that peer again.
 	Recv(from int) ([]byte, error)
 	// SetRecvTimeout bounds every subsequent Recv on this endpoint:
 	// when no message from the requested peer arrives within d, Recv
